@@ -1,0 +1,55 @@
+// Wire bandwidth: bytes per lock request for the three configurations.
+// Message COUNT (Figure 5) is the paper's metric, but a token transfer
+// ships a whole queue while a release is a few dozen bytes — this bench
+// checks that the byte story matches the count story.
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+namespace {
+
+hlock::harness::ExperimentResult run(hlock::harness::Protocol p,
+                                     std::size_t n,
+                                     const hlock::workload::WorkloadSpec& s) {
+  return hlock::harness::run_experiment(p, n, s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hlock;
+  using namespace hlock::harness;
+
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 60;
+  const std::size_t max_nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+
+  std::cout << "Wire bandwidth (bytes per lock request, serialized + "
+               "framing)\n\n";
+  TablePrinter table({"nodes", "ours B/req", "ours B/msg", "pure B/req",
+                      "same-work B/req"});
+  for (const std::size_t n : sweep_node_counts(max_nodes)) {
+    const auto ours = run(Protocol::kHls, n, spec);
+    const auto pure = run(Protocol::kNaimiPure, n, spec);
+    const auto same = run(Protocol::kNaimiSameWork, n, spec);
+    auto per_req = [](const ExperimentResult& r) {
+      return static_cast<double>(r.wire_bytes) /
+             static_cast<double>(r.lock_requests);
+    };
+    table.row({std::to_string(n), TablePrinter::num(per_req(ours), 1),
+               TablePrinter::num(static_cast<double>(ours.wire_bytes) /
+                                     static_cast<double>(ours.messages),
+                                 1),
+               TablePrinter::num(per_req(pure), 1),
+               TablePrinter::num(per_req(same), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nobservation: ours wins on message COUNT but its messages "
+               "grow with n (token transfers ship queues), so at scale the "
+               "BYTE cost converges with Naimi pure — the paper's metric "
+               "choice (count) matters on latency-bound networks where "
+               "per-message overhead dominates size\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Membership churn bench: a write-contended lock while nodes keep
+// departing gracefully. Measures how a departure wave affects acquisition
+// latency and what the handover costs in messages.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/hls_engine.hpp"
+#include "harness/experiment.hpp"
+#include "sim/simnet.hpp"
+#include "sim/simulator.hpp"
+
+using namespace hlock;
+
+namespace {
+
+struct ChurnRig {
+  explicit ChurnRig(std::size_t n)
+      : net(sim, std::make_unique<sim::UniformLatency>(msec(15)), Rng(23)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id{static_cast<std::uint32_t>(i)};
+      transports.push_back(std::make_unique<sim::SimTransport>(net, id));
+      core::EngineCallbacks cbs;
+      cbs.on_acquired = [this, i](RequestId rid, Mode) { on_acquired(i, rid); };
+      engines.push_back(std::make_unique<core::HlsEngine>(
+          LockId{0}, id, NodeId{0}, *transports.back(), core::EngineOptions{},
+          std::move(cbs)));
+      core::HlsEngine* raw = engines.back().get();
+      net.register_node(id, [raw](const Message& m) { raw->handle(m); });
+    }
+    departed.assign(n, false);
+    rounds.assign(n, 0);
+    issued_at.assign(n, 0);
+  }
+
+  void on_acquired(std::size_t i, RequestId rid) {
+    latency.add(to_ms(sim.now() - issued_at[i]));
+    sim.schedule_after(msec(3), [this, i, rid] {
+      engines[i]->unlock(rid);
+      next(i);
+    });
+  }
+
+  void next(std::size_t i) {
+    if (departed[i]) return;
+    if (rounds[i]-- <= 0) {
+      // Attempt to depart: pick the lowest live survivor as successor.
+      std::size_t succ = 0;
+      while (succ < engines.size() && (departed[succ] || succ == i)) ++succ;
+      if (succ < engines.size() && live() > 1) {
+        try {
+          engines[i]->leave(NodeId{static_cast<std::uint32_t>(succ)});
+          departed[i] = true;
+          ++departures;
+          return;
+        } catch (const std::logic_error&) {
+          rounds[i] = 1;  // retry after one more round
+        }
+      } else {
+        return;  // last node stops requesting
+      }
+    }
+    sim.schedule_after(msec(10), [this, i] {
+      if (departed[i]) return;
+      issued_at[i] = sim.now();
+      (void)engines[i]->request_lock(Mode::kW);
+    });
+  }
+
+  [[nodiscard]] std::size_t live() const {
+    std::size_t n = 0;
+    for (const bool d : departed) n += d ? 0 : 1;
+    return n;
+  }
+
+  void run(int rounds_per_node) {
+    for (std::size_t i = 0; i < engines.size(); ++i) {
+      // Stagger departures: node i leaves after (i+1)*rounds ops.
+      rounds[i] = static_cast<int>(i + 1) * rounds_per_node;
+      next(i);
+    }
+    sim.run_all();
+  }
+
+  sim::Simulator sim;
+  sim::SimNetwork net;
+  std::vector<std::unique_ptr<sim::SimTransport>> transports;
+  std::vector<std::unique_ptr<core::HlsEngine>> engines;
+  std::vector<bool> departed;
+  std::vector<int> rounds;
+  std::vector<TimePoint> issued_at;
+  Summary latency;
+  int departures{0};
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "Membership churn: W-contended lock, staggered graceful "
+               "departures until one node remains\n\n";
+  harness::TablePrinter table({"nodes", "departures", "acquisitions",
+                               "mean wait ms", "p95 ms", "total msgs"});
+  for (const std::size_t n : {std::size_t{4}, std::size_t{8},
+                              std::size_t{16}, std::size_t{32}}) {
+    ChurnRig rig(n);
+    rig.run(4);
+    table.row({std::to_string(n), std::to_string(rig.departures),
+               std::to_string(rig.latency.count()),
+               harness::TablePrinter::num(rig.latency.mean(), 1),
+               harness::TablePrinter::num(rig.latency.percentile(0.95), 1),
+               std::to_string(rig.net.messages_sent())});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: every node but one departs; acquisitions keep "
+               "flowing throughout (no token loss, no stalls)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 6 — "Request Latency (as a factor of point-to-point latency)":
+// mean acquisition latency divided by the 150 ms mean network latency, vs
+// number of nodes, for the three configurations.
+//
+// Paper's reading: our protocol grows linearly (factor ~90 at 120 nodes),
+// Naimi pure linearly with a worse constant (~160 at 120), Naimi same work
+// superlinearly (~240 at 120 and climbing).
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlock;
+  using namespace hlock::harness;
+
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 60;
+  const std::size_t max_nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+
+  std::cout << "Figure 6: request latency factor (mean acquire latency / "
+               "150ms point-to-point latency)\n\n";
+
+  TablePrinter table({"nodes", "our-protocol", "naimi-pure",
+                      "naimi-same-work", "ours p95"});
+  for (const std::size_t n : sweep_node_counts(max_nodes)) {
+    auto ours = run_experiment(Protocol::kHls, n, spec);
+    auto pure = run_experiment(Protocol::kNaimiPure, n, spec);
+    auto same = run_experiment(Protocol::kNaimiSameWork, n, spec);
+    table.row({std::to_string(n),
+               TablePrinter::num(ours.latency_factor.mean(), 1),
+               TablePrinter::num(pure.latency_factor.mean(), 1),
+               TablePrinter::num(same.latency_factor.mean(), 1),
+               TablePrinter::num(ours.latency_factor.percentile(0.95), 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper @120 nodes: ours ~90 | naimi pure ~160 | same work "
+               "~240 (superlinear)\n";
+  return 0;
+}

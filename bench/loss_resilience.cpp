@@ -1,0 +1,45 @@
+// Substrate-robustness bench: the protocol over a lossy datagram network
+// with the retransmission sublayer (sim::ReliableTransport), sweeping the
+// loss rate. Reports total wire traffic (including retransmissions and
+// acks), drop counts and the latency penalty.
+//
+// The paper's testbed ran over TCP (loss handled by the kernel); this
+// bench quantifies what that reliability costs when provided in the
+// middleware itself.
+#include <iostream>
+
+#include "harness/cluster.hpp"
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace hlock;
+  using namespace hlock::harness;
+
+  std::cout << "Loss resilience: 24 nodes, paper workload, reliability "
+               "sublayer armed\n\n";
+  TablePrinter table({"loss %", "wire msgs", "dropped", "acks",
+                      "protocol msgs/req", "latency factor"});
+  for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    ClusterConfig config;
+    config.nodes = 24;
+    config.spec.ops_per_node = 40;
+    config.loss_rate = loss;
+    HlsCluster cluster(config);
+    cluster.run();
+    const auto r = cluster.result();
+    const auto acks = r.messages_by_kind.get("ack");
+    // Protocol traffic excludes the sublayer's acks.
+    const double proto_per_req =
+        static_cast<double>(r.messages - acks) /
+        static_cast<double>(r.lock_requests);
+    table.row({TablePrinter::num(loss * 100, 0), std::to_string(r.messages),
+               std::to_string(cluster.network().messages_dropped()),
+               std::to_string(acks), TablePrinter::num(proto_per_req),
+               TablePrinter::num(r.latency_factor.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: protocol msgs/request degrades gracefully "
+               "(retransmissions); latency grows with the loss rate but "
+               "every run completes safely\n";
+  return 0;
+}

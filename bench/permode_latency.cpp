@@ -1,0 +1,42 @@
+// Extension to Figure 6: the paper reports latency "averaged over all
+// types of requests (IR, R, U, IW and W)". This bench shows the per-type
+// breakdown behind that average for our protocol: intent/leaf entry ops
+// are cheap and parallel, table-wide R/U ops pay for draining intent
+// writers, and W pays the most.
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hlock;
+  using namespace hlock::harness;
+
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 80;
+  const std::size_t max_nodes =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+
+  std::cout << "Per-request-type latency factor for our protocol "
+               "(breakdown of Figure 6's average)\n\n";
+  TablePrinter table({"nodes", "entry_read(IR)", "table_read(R)",
+                      "upgrade(U)", "entry_write(IW)", "table_write(W)",
+                      "average"});
+  for (const std::size_t n : sweep_node_counts(max_nodes)) {
+    const auto r = run_experiment(Protocol::kHls, n, spec);
+    auto cell = [&](const char* kind) {
+      const auto it = r.latency_by_kind.find(kind);
+      return it == r.latency_by_kind.end()
+                 ? std::string("-")
+                 : TablePrinter::num(it->second.mean(), 1);
+    };
+    table.row({std::to_string(n), cell("entry_read"), cell("table_read"),
+               cell("table_upgrade"), cell("entry_write"),
+               cell("table_write"),
+               TablePrinter::num(r.latency_factor.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected: entry ops stay cheap (high parallelism via "
+               "intent modes); table-wide ops dominate the average\n";
+  return 0;
+}

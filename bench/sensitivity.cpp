@@ -1,0 +1,90 @@
+// Sensitivity analysis: how the headline metrics respond when the paper's
+// workload parameters move — read/write mix, critical-section length,
+// think time, access locality, and table size. Fixed at 60 nodes.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+using namespace hlock;
+using namespace hlock::harness;
+
+namespace {
+
+void run_row(TablePrinter& table, const std::string& label,
+             const workload::WorkloadSpec& spec) {
+  const auto r = run_experiment(Protocol::kHls, 60, spec);
+  table.row({label, TablePrinter::num(r.msgs_per_lock_request()),
+             TablePrinter::num(r.latency_factor.mean(), 1),
+             TablePrinter::num(r.latency_factor.percentile(0.95), 1)});
+}
+
+}  // namespace
+
+int main() {
+  workload::WorkloadSpec base;
+  base.ops_per_node = 40;
+
+  {
+    std::cout << "=== mode mix (entry_read/table_read/upgrade/entry_write/"
+                 "table_write) ===\n";
+    TablePrinter table({"mix", "msgs/req", "latency", "p95"});
+    run_row(table, "paper 80/10/4/5/1", base);
+    workload::WorkloadSpec reads = base;
+    reads.p_entry_read = 0.95;
+    reads.p_table_read = 0.05;
+    reads.p_upgrade = reads.p_entry_write = reads.p_table_write = 0.0;
+    run_row(table, "read-only 95/5/0/0/0", reads);
+    workload::WorkloadSpec writes = base;
+    writes.p_entry_read = 0.40;
+    writes.p_table_read = 0.05;
+    writes.p_upgrade = 0.10;
+    writes.p_entry_write = 0.35;
+    writes.p_table_write = 0.10;
+    run_row(table, "write-heavy 40/5/10/35/10", writes);
+    table.print(std::cout);
+  }
+  {
+    std::cout << "\n=== critical-section length ===\n";
+    TablePrinter table({"cs mean", "msgs/req", "latency", "p95"});
+    for (const auto cs : {msec(5), msec(15), msec(50), msec(150)}) {
+      workload::WorkloadSpec spec = base;
+      spec.cs_mean = cs;
+      run_row(table, std::to_string(cs / 1000) + " ms", spec);
+    }
+    table.print(std::cout);
+  }
+  {
+    std::cout << "\n=== inter-request idle time ===\n";
+    TablePrinter table({"idle mean", "msgs/req", "latency", "p95"});
+    for (const auto idle : {msec(50), msec(150), msec(500), msec(1500)}) {
+      workload::WorkloadSpec spec = base;
+      spec.idle_mean = idle;
+      run_row(table, std::to_string(idle / 1000) + " ms", spec);
+    }
+    table.print(std::cout);
+  }
+  {
+    std::cout << "\n=== access locality (home bias of entry ops) ===\n";
+    TablePrinter table({"home bias", "msgs/req", "latency", "p95"});
+    for (const double bias : {0.0, 0.5, 0.9, 1.0}) {
+      workload::WorkloadSpec spec = base;
+      spec.home_bias = bias;
+      run_row(table, TablePrinter::num(bias, 1), spec);
+    }
+    table.print(std::cout);
+  }
+  {
+    std::cout << "\n=== table size (rows per airline) ===\n";
+    TablePrinter table({"entries/node", "msgs/req", "latency", "p95"});
+    for (const std::uint32_t e : {1u, 2u, 4u, 8u}) {
+      workload::WorkloadSpec spec = base;
+      spec.entries_per_node = e;
+      run_row(table, std::to_string(e), spec);
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nexpected: locality cuts entry-lock traffic; longer CS or "
+               "shorter idle raises contention (latency), message count "
+               "stays near the ~3 asymptote throughout\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// §6 headline claims at the paper's largest configuration (120 nodes):
+//   * message overhead: ~3 (ours) vs ~4 (Naimi pure) — ours ~20% lower
+//   * latency factor:   ~90 (ours) vs ~160 (Naimi pure)
+//   * logarithmic asymptote of message overhead is preserved despite the
+//     hierarchical modes
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace hlock;
+  using namespace hlock::harness;
+
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 80;
+  constexpr std::size_t kNodes = 120;
+
+  const auto ours = run_experiment(Protocol::kHls, kNodes, spec);
+  const auto pure = run_experiment(Protocol::kNaimiPure, kNodes, spec);
+
+  std::cout << "Conclusion (§6) claims at " << kNodes << " nodes\n\n";
+  TablePrinter table({"metric", "paper ours", "measured ours", "paper naimi",
+                      "measured naimi"});
+  table.row({"messages per lock request", "~3",
+             TablePrinter::num(ours.msgs_per_lock_request()), "~4",
+             TablePrinter::num(pure.msgs_per_lock_request())});
+  table.row({"latency factor", "~90",
+             TablePrinter::num(ours.latency_factor.mean(), 1), "~160",
+             TablePrinter::num(pure.latency_factor.mean(), 1)});
+  table.print(std::cout);
+
+  const double savings =
+      1.0 - ours.msgs_per_lock_request() / pure.msgs_per_lock_request();
+  std::cout << "\nmessage-rate advantage of ours over naimi pure: "
+            << TablePrinter::num(savings * 100, 1)
+            << "% (paper: ~20% lower)\n";
+
+  // Asymptote check: overhead growth from 60 to 120 nodes should be small
+  // (logarithmic flattening), not proportional to the node count.
+  workload::WorkloadSpec half = spec;
+  const auto ours60 = run_experiment(Protocol::kHls, 60, half);
+  const double growth =
+      ours.msgs_per_lock_request() / ours60.msgs_per_lock_request();
+  std::cout << "overhead growth 60 -> 120 nodes: x"
+            << TablePrinter::num(growth)
+            << " (flat/logarithmic expected, 2.0 would be linear)\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Elastic cluster: nodes depart gracefully while lock traffic keeps
+// flowing — the dynamic-membership extension over real TCP sockets.
+//
+//   $ ./elastic_cluster [nodes] [rounds]
+//
+// All nodes hammer a shared lock; every few rounds the highest-numbered
+// active node drains and leaves, handing the token to a survivor when it
+// happens to be the root. The run ends with a single node still able to
+// take the lock silently.
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "corba/concurrency.hpp"
+#include "net/cluster.hpp"
+
+using namespace hlock;
+
+int main(int argc, char** argv) {
+  const std::size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 6;
+  if (nodes < 2) {
+    std::cerr << "need at least 2 nodes\n";
+    return 2;
+  }
+
+  const LockId kLock{0};
+  net::InProcessCluster cluster(nodes);
+  std::vector<std::unique_ptr<corba::ConcurrencyService>> services;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    services.push_back(
+        std::make_unique<corba::ConcurrencyService>(cluster.node(i)));
+    services.back()->create_lock_set(kLock, NodeId{0});
+  }
+
+  std::atomic<std::size_t> active{nodes};
+  std::atomic<std::uint64_t> acquisitions{0};
+  std::atomic<int> in_cs{0};
+  std::atomic<bool> overlap{false};
+
+  std::vector<std::thread> workers;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    workers.emplace_back([&, i] {
+      corba::LockSet set = services[i]->lock_set(kLock);
+      for (int r = 0; r < rounds; ++r) {
+        // Highest active node leaves after finishing round r == i % ...
+        const corba::LockHandle h = set.lock(corba::LockMode::kWrite);
+        if (in_cs.fetch_add(1) != 0) overlap.store(true);
+        acquisitions.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        in_cs.fetch_sub(1);
+        set.unlock(h);
+      }
+      // Nodes 1..n-1 depart in reverse order once done; node 0 stays.
+      if (i != 0) {
+        // Wait until every higher-numbered node has departed, keeping
+        // departures ordered so a successor is always alive.
+        while (active.load() != i + 1) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        services[i]->leave(kLock, NodeId{0});
+        std::cout << "node " << i << " departed\n";
+        active.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  // Only node 0 remains: the token must be reachable for it.
+  corba::LockSet last = services[0]->lock_set(kLock);
+  const corba::LockHandle h = last.lock(corba::LockMode::kWrite);
+  last.unlock(h);
+
+  std::cout << "acquisitions " << acquisitions.load() << " (expected "
+            << nodes * static_cast<std::uint64_t>(rounds) << ")\n"
+            << "mutual-exclusion overlap: "
+            << (overlap.load() ? "YES (BUG)" : "none") << "\n";
+  cluster.stop();
+  const bool ok = !overlap.load() &&
+                  acquisitions.load() ==
+                      nodes * static_cast<std::uint64_t>(rounds);
+  std::cout << (ok ? "OK\n" : "FAILED\n");
+  return ok ? 0 : 1;
+}

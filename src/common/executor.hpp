@@ -1,0 +1,23 @@
+// Deferred-execution interface.
+//
+// Sessions and workload drivers never call engines re-entrantly from
+// protocol callbacks (see HlsEngine's threading contract); instead they
+// schedule continuations through this interface. The simulator implements
+// it over virtual time, the TCP node runner over real timers.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+
+namespace hlock {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Run `fn` once, `delay` from now (0 = next loop iteration).
+  virtual void schedule(Duration delay, std::function<void()> fn) = 0;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+}  // namespace hlock

@@ -1,0 +1,55 @@
+// Lamport logical clock.
+//
+// Lock requests carry (lamport, node) timestamps so local queues can be
+// merged on token transfer while preserving the global FIFO order the
+// paper inherits from Mueller's prioritized token protocol [11].
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace hlock {
+
+/// Totally ordered logical timestamp: ties broken by node id.
+struct LamportStamp {
+  std::uint64_t counter{0};
+  NodeId node{};
+
+  friend constexpr bool operator==(const LamportStamp& a,
+                                   const LamportStamp& b) {
+    return a.counter == b.counter && a.node == b.node;
+  }
+  friend constexpr bool operator<(const LamportStamp& a,
+                                  const LamportStamp& b) {
+    if (a.counter != b.counter) return a.counter < b.counter;
+    return a.node < b.node;
+  }
+  friend constexpr bool operator>(const LamportStamp& a,
+                                  const LamportStamp& b) {
+    return b < a;
+  }
+};
+
+/// Per-node Lamport clock.
+class LamportClock {
+ public:
+  explicit LamportClock(NodeId self) : self_(self) {}
+
+  /// Stamp a locally originated event.
+  LamportStamp tick() { return LamportStamp{++counter_, self_}; }
+
+  /// Fold in a timestamp observed on an incoming message.
+  void observe(const LamportStamp& remote) {
+    counter_ = std::max(counter_, remote.counter);
+  }
+
+  [[nodiscard]] std::uint64_t counter() const { return counter_; }
+
+ private:
+  NodeId self_;
+  std::uint64_t counter_{0};
+};
+
+}  // namespace hlock

@@ -1,0 +1,34 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace hlock {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kNone: break;
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line) {
+  const std::lock_guard<std::mutex> guard(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), line.c_str());
+}
+}  // namespace detail
+
+}  // namespace hlock

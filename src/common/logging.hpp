@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// Protocol engines log through this so tests can raise verbosity for a
+// single failing seed without recompiling. Logging is off (Level::kNone)
+// by default and the hot path is a single branch.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hlock {
+
+enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
+
+/// Global log level; not synchronized — set it before spawning threads.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& line);
+}
+
+/// Usage: HLOCK_LOG(kDebug, "node " << id << " granted " << mode);
+#define HLOCK_LOG(level, expr)                                      \
+  do {                                                              \
+    if (::hlock::log_level() >= ::hlock::LogLevel::level) {         \
+      std::ostringstream hlock_log_os_;                             \
+      hlock_log_os_ << expr;                                        \
+      ::hlock::detail::log_line(::hlock::LogLevel::level,           \
+                                hlock_log_os_.str());               \
+    }                                                               \
+  } while (0)
+
+}  // namespace hlock

@@ -1,0 +1,41 @@
+// Deterministic random number generation.
+//
+// All experiments must be reproducible from a single 64-bit seed, so the
+// harness never touches std::random_device or global RNG state; each node
+// derives its own stream with split().
+#pragma once
+
+#include <cstdint>
+
+namespace hlock {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit generator. Deterministic
+/// across platforms (unlike std::mt19937 + std:: distributions, whose
+/// distribution implementations vary by standard library).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derive an independent child stream (e.g. one per node).
+  Rng split();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hlock

@@ -1,0 +1,48 @@
+// Lightweight metric primitives used by the experiment harness:
+// named counters and a streaming summary (count/mean/min/max/percentiles).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hlock {
+
+/// Streaming numeric summary. Keeps all samples so exact percentiles are
+/// available; experiment scales here are small enough (<1e7 samples).
+class Summary {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact percentile, q in [0, 1]. Returns 0 for an empty summary.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_{true};
+  double sum_{0};
+  double sum_sq_{0};
+};
+
+/// Named monotonically increasing counters (message type counts etc.).
+class CounterMap {
+ public:
+  void inc(const std::string& name, std::uint64_t delta = 1);
+  [[nodiscard]] std::uint64_t get(const std::string& name) const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& all() const {
+    return counters_;
+  }
+  void merge(const CounterMap& other);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace hlock

@@ -1,0 +1,85 @@
+// Fundamental identifier and time types shared by every module.
+//
+// All protocol code is written against *virtual* time expressed in
+// microseconds so the same engines run unchanged under the discrete-event
+// simulator (src/sim) and the real TCP transport (src/net).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hlock {
+
+/// Strong integral id wrapper; `Tag` makes NodeId/LockId/... distinct types.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  using rep_type = Rep;
+
+  Rep value{std::numeric_limits<Rep>::max()};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  /// A sentinel meaning "no id"; default-constructed ids are invalid.
+  static constexpr StrongId invalid() { return StrongId{}; }
+  [[nodiscard]] constexpr bool valid() const {
+    return value != std::numeric_limits<Rep>::max();
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value < b.value;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return b < a; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return !(b < a); }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return !(a < b); }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<none>";
+    return os << id.value;
+  }
+};
+
+struct NodeIdTag {};
+struct LockIdTag {};
+struct RequestIdTag {};
+struct ResourceIdTag {};
+
+/// Identifies one participant (process) in the distributed system.
+using NodeId = StrongId<NodeIdTag>;
+/// Identifies one lock object (one token-tree instance).
+using LockId = StrongId<LockIdTag>;
+/// Identifies one application-level lock request, unique per node.
+using RequestId = StrongId<RequestIdTag, std::uint64_t>;
+/// Identifies one application resource (database, table, or entry).
+using ResourceId = StrongId<ResourceIdTag>;
+
+/// Virtual time: microseconds since simulation start (or steady_clock epoch
+/// under the real transport).
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration usec(std::int64_t v) { return v; }
+constexpr Duration msec(std::int64_t v) { return v * 1000; }
+constexpr Duration sec(std::int64_t v) { return v * 1'000'000; }
+
+/// Duration -> floating point milliseconds, for reporting.
+constexpr double to_ms(Duration d) { return static_cast<double>(d) / 1000.0; }
+
+}  // namespace hlock
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<hlock::StrongId<Tag, Rep>> {
+  size_t operator()(hlock::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,1002 @@
+#include "core/hls_engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace hlock::core {
+
+namespace {
+constexpr Mode kNone = Mode::kNone;
+}
+
+HlsEngine::HlsEngine(LockId lock, NodeId self, NodeId initial_token_holder,
+                     Transport& transport, EngineOptions opts,
+                     EngineCallbacks callbacks, NodeId initial_parent)
+    : lock_(lock),
+      self_(self),
+      transport_(transport),
+      opts_(opts),
+      callbacks_(std::move(callbacks)),
+      has_token_(self == initial_token_holder),
+      parent_(has_token_ ? NodeId::invalid()
+                         : (initial_parent.valid() ? initial_parent
+                                                   : initial_token_holder)),
+      lamport_(self) {
+  if (!self.valid() || !initial_token_holder.valid())
+    throw std::invalid_argument("invalid node id");
+  if (parent_ == self_)
+    throw std::invalid_argument("a node cannot be its own parent");
+}
+
+// ---------------------------------------------------------------------------
+// Derived state
+// ---------------------------------------------------------------------------
+
+Mode HlsEngine::held_mode() const {
+  Mode m = kNone;
+  for (const auto& [id, mode] : holds_) m = strongest(m, mode);
+  return m;
+}
+
+Mode HlsEngine::children_mode() const {
+  Mode m = kNone;
+  for (const auto& [child, mode] : children_) m = strongest(m, mode);
+  return m;
+}
+
+Mode HlsEngine::owned_mode() const {
+  return strongest(held_mode(), children_mode());
+}
+
+Mode HlsEngine::owned_mode_excluding_child(NodeId child) const {
+  Mode m = held_mode();
+  for (const auto& [c, mode] : children_)
+    if (c != child) m = strongest(m, mode);
+  return m;
+}
+
+Mode HlsEngine::owned_mode_excluding_hold(RequestId id) const {
+  Mode m = children_mode();
+  for (const auto& [h, mode] : holds_)
+    if (h != id) m = strongest(m, mode);
+  return m;
+}
+
+RequestId HlsEngine::fresh_request_id() {
+  return RequestId{(static_cast<std::uint64_t>(self_.value) << 32) |
+                   next_request_++};
+}
+
+void HlsEngine::send(NodeId to, Message m) {
+  m.lock = lock_;
+  m.from = self_;
+  m.view = view_;
+  transport_.send(to, m);
+}
+
+// ---------------------------------------------------------------------------
+// Application API
+// ---------------------------------------------------------------------------
+
+RequestId HlsEngine::request_lock(Mode mode, std::uint8_t priority) {
+  if (mode == kNone) throw std::invalid_argument("cannot request mode ∅");
+  PendingLocal req;
+  req.id = fresh_request_id();
+  req.mode = mode;
+  req.stamp = lamport_.tick();
+  req.upgrade = false;
+  req.priority = priority;
+  if (pending_ || !backlog_.empty()) {
+    backlog_.push_back(req);
+  } else {
+    start_local_request(req);
+  }
+  return req.id;
+}
+
+void HlsEngine::start_local_request(PendingLocal req) {
+  const Mode mo = owned_mode();
+  const bool frozen_blocks =
+      opts_.enable_freezing && frozen_.contains(req.mode);
+
+  if (req.upgrade) {
+    // Rule 7. The hold stays U throughout; no release happens.
+    upgrading_hold_ = req.id;
+    if (has_token_ && owned_mode_excluding_hold(req.id) == kNone) {
+      holds_[req.id] = Mode::kW;
+      upgrading_hold_.reset();
+      if (callbacks_.on_upgraded) callbacks_.on_upgraded(req.id);
+      return;
+    }
+    pending_ = req;
+    if (has_token_) {
+      // Rule 7 gives upgrades priority: a queued request incompatible
+      // with the held U necessarily arrived after it, and serving it
+      // first would deadlock against the never-released U.
+      enqueue(QueuedRequest{self_, Mode::kW, req.stamp, true,
+                            req.priority});
+      recompute_frozen_token();
+      push_freeze_updates();
+    } else {
+      Message m;
+      m.kind = MsgKind::kRequest;
+      m.req = QueuedRequest{self_, Mode::kW, req.stamp, true, req.priority};
+      send(parent_, m);
+    }
+    return;
+  }
+
+  if (has_token_) {
+    // Figure 4 RequestLock, token branch: compatibility with the owned
+    // mode is necessary and sufficient (Rule 3.2) unless frozen (Rule 6).
+    // During a recovery barrier only Rule 2's non-token condition is safe
+    // (survivor holds may still be unregistered).
+    if (compatible(mo, req.mode) && !frozen_blocks &&
+        (recovery_waiting_.empty() || stronger_or_equal(mo, req.mode))) {
+      admit_local(req.id, req.mode);
+      return;
+    }
+    pending_ = req;
+    enqueue(QueuedRequest{self_, req.mode, req.stamp, false, req.priority});
+    recompute_frozen_token();
+    push_freeze_updates();
+    return;
+  }
+
+  // Rule 2, non-token: enter without messages iff we already own a
+  // sufficient compatible mode and the mode is not frozen.
+  if (stronger_or_equal(mo, req.mode) && compatible(mo, req.mode) &&
+      !frozen_blocks) {
+    admit_local(req.id, req.mode);
+    return;
+  }
+  pending_ = req;
+  Message m;
+  m.kind = MsgKind::kRequest;
+  m.req = QueuedRequest{self_, req.mode, req.stamp, false, req.priority};
+  send(parent_, m);
+}
+
+void HlsEngine::admit_local(RequestId id, Mode mode) {
+  if (cancelled_.erase(id) > 0) {
+    // Cancelled while in flight: the grant is accounted and immediately
+    // released, with no application callback.
+    holds_[id] = mode;
+    unlock(id);
+    return;
+  }
+  holds_[id] = mode;
+  HLOCK_LOG(kTrace, "node " << self_ << " lock " << lock_ << " acquired "
+                            << mode << " locally");
+  if (callbacks_.on_acquired) callbacks_.on_acquired(id, mode);
+}
+
+bool HlsEngine::cancel(RequestId id) {
+  if (upgrading_hold_ == id || (pending_ && pending_->upgrade &&
+                                pending_->id == id))
+    throw std::logic_error("cannot cancel an upgrade (U stays held)");
+  if (holds_.count(id) != 0) return false;  // already granted
+  for (auto it = backlog_.begin(); it != backlog_.end(); ++it) {
+    if (it->id == id) {
+      backlog_.erase(it);
+      return true;
+    }
+  }
+  if (pending_ && pending_->id == id) {
+    if (pending_->upgrade)
+      throw std::logic_error("cannot cancel an upgrade (U stays held)");
+    cancelled_.insert(id);
+    return true;
+  }
+  throw std::logic_error("cancel of unknown or already-released request");
+}
+
+std::optional<RequestId> HlsEngine::try_request_lock(Mode mode) {
+  if (mode == kNone) throw std::invalid_argument("cannot request mode ∅");
+  // An earlier local request is still outstanding; granting out of order
+  // would break per-node FIFO.
+  if (pending_ || !backlog_.empty()) return std::nullopt;
+  const Mode mo = owned_mode();
+  const bool frozen_blocks = opts_.enable_freezing && frozen_.contains(mode);
+  const bool admissible =
+      has_token_ && recovery_waiting_.empty()
+          ? (compatible(mo, mode) && !frozen_blocks)
+          : (stronger_or_equal(mo, mode) && compatible(mo, mode) &&
+             !frozen_blocks);
+  if (!admissible) return std::nullopt;
+  const RequestId id = fresh_request_id();
+  admit_local(id, mode);
+  return id;
+}
+
+void HlsEngine::downgrade(RequestId id, Mode mode) {
+  if (mode == kNone) {
+    unlock(id);
+    return;
+  }
+  const auto it = holds_.find(id);
+  if (it == holds_.end())
+    throw std::logic_error("downgrade of unheld request");
+  if (upgrading_hold_ == id)
+    throw std::logic_error("downgrade of a hold with an upgrade in flight");
+  if (!safe_downgrade(it->second, mode))
+    throw std::logic_error("not a safe downgrade");
+  const Mode owned_before = owned_mode();
+  it->second = mode;
+
+  if (has_token_) {
+    check_queue_token();
+    if (has_token_) {
+      recompute_frozen_token();
+      push_freeze_updates();
+    }
+  } else {
+    propagate_release_if_needed(owned_before);
+    check_queue_nontoken();
+  }
+  pump_backlog();
+}
+
+void HlsEngine::unlock(RequestId id) {
+  const auto it = holds_.find(id);
+  if (it == holds_.end()) throw std::logic_error("unlock of unheld request");
+  if (upgrading_hold_ == id)
+    throw std::logic_error("unlock of a hold with an upgrade in flight");
+  const Mode owned_before = owned_mode();
+  holds_.erase(it);
+
+  if (has_token_) {
+    check_queue_token();
+    if (has_token_) {
+      recompute_frozen_token();
+      push_freeze_updates();
+    }
+  } else {
+    propagate_release_if_needed(owned_before);
+    check_queue_nontoken();
+  }
+  pump_backlog();
+}
+
+void HlsEngine::upgrade(RequestId id) {
+  const auto it = holds_.find(id);
+  if (it == holds_.end() || it->second != Mode::kU)
+    throw std::logic_error("upgrade requires a held U lock");
+  if (upgrading_hold_) throw std::logic_error("upgrade already in flight");
+  PendingLocal req;
+  req.id = id;  // the upgrade keeps the original request id
+  req.mode = Mode::kW;
+  req.stamp = lamport_.tick();
+  req.upgrade = true;
+  if (pending_ || !backlog_.empty()) {
+    backlog_.push_back(req);
+  } else {
+    start_local_request(req);
+  }
+}
+
+void HlsEngine::pump_backlog() {
+  while (!pending_ && !backlog_.empty()) {
+    PendingLocal req = backlog_.front();
+    backlog_.pop_front();
+    start_local_request(req);
+  }
+}
+
+void HlsEngine::resolve_pending_with_grant(Mode mode) {
+  const PendingLocal req = *pending_;
+  pending_.reset();
+  if (req.upgrade) {
+    holds_[req.id] = Mode::kW;
+    upgrading_hold_.reset();
+    if (callbacks_.on_upgraded) callbacks_.on_upgraded(req.id);
+  } else {
+    admit_local(req.id, mode);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+void HlsEngine::handle(const Message& m) {
+  if (m.lock != lock_) {
+    std::ostringstream os;
+    os << "message for wrong lock: engine (node " << self_ << ", lock "
+       << lock_ << ") got " << to_string(m.kind) << " for lock " << m.lock
+       << " from " << m.from;
+    throw std::logic_error(os.str());
+  }
+  if (m.view != view_) {
+    // Fencing: traffic from a pre-recovery view (e.g. the old token still
+    // in flight when the crash was declared) must not contaminate the
+    // rebuilt tree.
+    HLOCK_LOG(kDebug, "node " << self_ << " drops view-" << m.view
+                              << " message in view " << view_);
+    return;
+  }
+  if (departed_) {
+    handle_departed(m);
+    return;
+  }
+  switch (m.kind) {
+    case MsgKind::kRequest: handle_request(m); return;
+    case MsgKind::kGrant: handle_grant(m); return;
+    case MsgKind::kToken: handle_token(m); return;
+    case MsgKind::kRelease: handle_release(m); return;
+    case MsgKind::kFreeze: handle_freeze(m); return;
+    case MsgKind::kReparent: handle_reparent(m); return;
+    case MsgKind::kAttach: handle_attach(m); return;
+    case MsgKind::kHandoff: handle_handoff(m); return;
+    default: throw std::logic_error("unexpected message kind for HlsEngine");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic membership (leave / reparent / attach / handoff)
+// ---------------------------------------------------------------------------
+
+void HlsEngine::leave(NodeId successor_if_root) {
+  if (departed_) throw std::logic_error("already departed");
+  if (!holds_.empty()) throw std::logic_error("leave with live holds");
+  if (pending_ || !backlog_.empty())
+    throw std::logic_error("leave with outstanding requests");
+
+  const NodeId successor = has_token_ ? successor_if_root : parent_;
+  if (!successor.valid() || successor == self_)
+    throw std::invalid_argument("leave requires a valid successor");
+
+  // Children re-attach themselves: they answer with kAttach carrying
+  // their authoritative owned mode on their own (FIFO) channel to the
+  // successor, which closes the delegate-vs-release races a push-style
+  // handover would have.
+  const bool owned_something = !children_.empty();
+  for (const auto& [child, mode] : children_) {
+    Message r;
+    r.kind = MsgKind::kReparent;
+    r.req.requester = successor;
+    send(child, r);
+  }
+  children_.clear();
+  sent_frozen_.clear();
+
+  if (has_token_) {
+    Message h;
+    h.kind = MsgKind::kHandoff;
+    h.queue.assign(queue_.begin(), queue_.end());
+    queue_.clear();
+    has_token_ = false;
+    send(successor, h);
+  } else {
+    // Requests we queued behind our (now resolved) pending: forward them
+    // toward the root before going dark.
+    for (const QueuedRequest& q : queue_) {
+      Message fwd;
+      fwd.kind = MsgKind::kRequest;
+      fwd.req = q;
+      send(parent_, fwd);
+    }
+    queue_.clear();
+    if (owned_something) {
+      // Deregister ourselves: our contribution to the parent's copyset is
+      // gone (no holds; the children now attach directly to it). An idle
+      // non-owner already dropped out of the copyset when it released.
+      Message r;
+      r.kind = MsgKind::kRelease;
+      r.mode = kNone;
+      r.grant_seq = grants_received_[parent_];
+      send(parent_, r);
+    }
+  }
+
+  frozen_.clear();
+  parent_ = successor;
+  departed_ = true;
+}
+
+void HlsEngine::begin_recovery(std::uint32_t new_view, NodeId new_root,
+                               const std::set<NodeId>& survivors) {
+  if (departed_) throw std::logic_error("departed engines do not recover");
+  if (new_view <= view_)
+    throw std::invalid_argument("recovery view must increase");
+  if (!new_root.valid()) throw std::invalid_argument("invalid new root");
+  if (survivors.count(self_) == 0 || survivors.count(new_root) == 0)
+    throw std::invalid_argument("survivors must include self and new root");
+  view_ = new_view;
+
+  // Tree state is rebuilt from scratch; local intent (holds, pending,
+  // backlog) survives.
+  children_.clear();
+  sent_frozen_.clear();
+  queue_.clear();
+  frozen_.clear();
+  grants_sent_.clear();
+  grants_received_.clear();
+
+  has_token_ = self_ == new_root;
+  parent_ = has_token_ ? NodeId::invalid() : new_root;
+  recovery_waiting_.clear();
+
+  if (has_token_) {
+    recovery_waiting_.insert(survivors.begin(), survivors.end());
+    recovery_waiting_.erase(self_);
+  }
+
+  if (!has_token_) {
+    // Re-attach with our authoritative owned mode — ALWAYS, even when we
+    // own nothing (the ping completes the root's barrier).
+    {
+      Message a;
+      a.kind = MsgKind::kAttach;
+      a.mode = owned_mode();
+      send(parent_, a);
+    }
+    if (pending_) {
+      Message m;
+      m.kind = MsgKind::kRequest;
+      m.req = QueuedRequest{self_, pending_->mode, pending_->stamp,
+                            pending_->upgrade, pending_->priority};
+      send(parent_, m);
+    }
+  } else if (pending_) {
+    // The new root re-queues its own outstanding request; it is served
+    // when the barrier completes.
+    enqueue(QueuedRequest{self_, pending_->mode, pending_->stamp,
+                          pending_->upgrade, pending_->priority});
+  }
+  if (has_token_ && recovery_waiting_.empty()) {
+    check_queue_token();
+    if (has_token_) recompute_frozen_token();
+  }
+}
+
+void HlsEngine::handle_departed(const Message& m) {
+  switch (m.kind) {
+    case MsgKind::kRequest: {
+      // Keep routing toward the live tree.
+      Message fwd;
+      fwd.kind = MsgKind::kRequest;
+      fwd.req = m.req;
+      send(parent_, fwd);
+      return;
+    }
+    case MsgKind::kHandoff: {
+      // A cascading leave picked us as successor after we left ourselves.
+      Message fwd = m;
+      send(parent_, fwd);
+      return;
+    }
+    case MsgKind::kAttach: {
+      // Someone was told to attach to us; redirect them.
+      Message r;
+      r.kind = MsgKind::kReparent;
+      r.req.requester = parent_;
+      send(m.from, r);
+      return;
+    }
+    case MsgKind::kReparent:
+      // Keep our forwarding target fresh.
+      parent_ = m.req.requester;
+      return;
+    case MsgKind::kRelease:
+    case MsgKind::kFreeze:
+      return;  // stale; the sender has been / will be re-parented
+    default:
+      HLOCK_LOG(kError, "departed node " << self_ << " got "
+                                         << to_string(m.kind));
+      return;
+  }
+}
+
+void HlsEngine::handle_reparent(const Message& m) {
+  if (has_token_) return;  // stale: we became the root meanwhile
+  const NodeId new_parent = m.req.requester;
+  if (!new_parent.valid() || new_parent == self_) return;
+  parent_ = new_parent;
+  if (owned_mode() == kNone) return;  // plain probable-owner hint update
+  Message a;
+  a.kind = MsgKind::kAttach;
+  a.mode = owned_mode();
+  a.grant_seq = grants_received_[new_parent];
+  send(new_parent, a);
+}
+
+void HlsEngine::handle_attach(const Message& m) {
+  const bool barrier_open = !recovery_waiting_.empty();
+  recovery_waiting_.erase(m.from);
+  if (m.mode != kNone) {
+    children_[m.from] = m.mode;  // authoritative snapshot from the child
+    sent_frozen_.erase(m.from);  // unknown; recomputed on the next push
+  }
+  if (barrier_open && !recovery_waiting_.empty()) return;  // still waiting
+  if (has_token_) {
+    check_queue_token();
+    if (has_token_) {
+      recompute_frozen_token();
+    }
+  }
+  push_freeze_updates();
+}
+
+void HlsEngine::handle_handoff(const Message& m) {
+  // Unsolicited token from a departing root. Unlike kToken this answers
+  // no local request; our own queued entries (if our request sat in the
+  // leaver's queue) stay in and get served by check_queue_token.
+  has_token_ = true;
+  parent_ = NodeId::invalid();
+
+  std::deque<QueuedRequest> merged;
+  merged.insert(merged.end(), m.queue.begin(), m.queue.end());
+  merged.insert(merged.end(), queue_.begin(), queue_.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [this](const QueuedRequest& a, const QueuedRequest& b) {
+                     if (opts_.enable_priorities) return priority_before(a, b);
+                     return a.stamp < b.stamp;
+                   });
+  std::stable_partition(merged.begin(), merged.end(),
+                        [](const QueuedRequest& r) { return r.upgrade; });
+  queue_ = std::move(merged);
+
+  check_queue_token();
+  if (has_token_) {
+    recompute_frozen_token();
+    push_freeze_updates();
+  }
+  pump_backlog();
+}
+
+void HlsEngine::handle_request(const Message& m) {
+  QueuedRequest q = m.req;
+  lamport_.observe(q.stamp);
+
+  if (q.requester == self_) {
+    // A request of ours was routed back to us (it was queued at an
+    // intermediate node which later forwarded it while we became its
+    // parent, or we became the root in the meantime).
+    HLOCK_LOG(kDebug, "node " << self_ << " saw its own request return");
+    if (!pending_ || pending_->stamp != q.stamp) return;  // already served
+    if (!has_token_) {
+      Message fwd;
+      fwd.kind = MsgKind::kRequest;
+      fwd.req = q;
+      send(parent_, fwd);
+      return;
+    }
+    // We are the root now: treat it exactly like the token-node branch of
+    // RequestLock — admit if possible, otherwise queue as a self entry.
+    if (std::find_if(queue_.begin(), queue_.end(), [&](const QueuedRequest& r) {
+          return r.requester == self_ && r.stamp == q.stamp;
+        }) != queue_.end()) {
+      return;  // already queued
+    }
+    if (!q.upgrade && compatible(owned_mode(), q.mode) &&
+        !(opts_.enable_freezing && frozen_.contains(q.mode))) {
+      resolve_pending_with_grant(q.mode);
+      pump_backlog();
+      return;
+    }
+    enqueue(q);
+    recompute_frozen_token();
+    push_freeze_updates();
+    return;
+  }
+
+  if (has_token_) {
+    handle_request_as_token(q);
+  } else {
+    handle_request_as_nontoken(q);
+  }
+}
+
+void HlsEngine::handle_request_as_token(const QueuedRequest& q) {
+  if (!recovery_waiting_.empty()) {
+    // Recovery barrier: survivor state is still arriving; anything served
+    // now could conflict with a hold whose attach is in flight.
+    enqueue(q);
+    return;
+  }
+  if (q.upgrade) {
+    if (try_serve_upgrade_as_token(q)) return;
+    // Upgrades jump the queue (Rule 7): everything incompatible with the
+    // requester's held U is younger than the U, and a queued writer would
+    // otherwise deadlock against the never-released U.
+    enqueue(q);
+    recompute_frozen_token();
+    push_freeze_updates();
+    return;
+  }
+
+  const Mode mo = owned_mode();
+  const bool frozen_blocks = opts_.enable_freezing && frozen_.contains(q.mode);
+
+  if (!frozen_blocks && tokenable(mo, q.mode)) {
+    transfer_token(q);
+    return;
+  }
+  if (!frozen_blocks && token_copy_grantable(mo, q.mode)) {
+    grant_copy(q);
+    return;
+  }
+  // Rule 4.2: the token node always queues what it cannot grant.
+  enqueue(q);
+  recompute_frozen_token();
+  push_freeze_updates();
+}
+
+void HlsEngine::handle_request_as_nontoken(const QueuedRequest& q) {
+  const Mode mo = owned_mode();
+  const bool frozen_blocks = opts_.enable_freezing && frozen_.contains(q.mode);
+
+  if (opts_.allow_child_grants && !frozen_blocks &&
+      child_grantable(mo, q.mode)) {
+    grant_copy(q);  // Rule 3.1
+    return;
+  }
+  if (opts_.allow_local_queues &&
+      queue_or_forward(pending_mode(), q.mode) == PendingAction::kQueue) {
+    enqueue(q);  // Rule 4.1 / Table 2(a)
+    return;
+  }
+  Message fwd;
+  fwd.kind = MsgKind::kRequest;
+  fwd.req = q;
+  send(parent_, fwd);
+}
+
+bool HlsEngine::try_serve_upgrade_as_token(const QueuedRequest& q) {
+  // Rule 7: the requester keeps holding U; every *other* contribution to
+  // the owned mode must drain before W can exist anywhere.
+  const Mode rest = owned_mode_excluding_child(q.requester);
+  if (rest != kNone) return false;
+  transfer_token(q);
+  return true;
+}
+
+void HlsEngine::enqueue(const QueuedRequest& q) {
+  // Upgrades cluster at the front (Rule 7 precedence), FIFO among
+  // themselves. The rest is FIFO, or (priority desc, stamp) when priority
+  // arbitration is enabled.
+  auto it = queue_.begin();
+  while (it != queue_.end() && it->upgrade) ++it;
+  if (!q.upgrade) {
+    if (opts_.enable_priorities) {
+      while (it != queue_.end() && !priority_before(q, *it)) ++it;
+    } else {
+      it = queue_.end();
+    }
+  }
+  queue_.insert(it, q);
+}
+
+void HlsEngine::grant_copy(const QueuedRequest& q) {
+  auto& entry = children_[q.requester];
+  entry = strongest(entry, q.mode);
+  sent_frozen_[q.requester] = frozen_;
+  Message g;
+  g.kind = MsgKind::kGrant;
+  g.mode = q.mode;
+  g.frozen = frozen_;
+  g.grant_seq = ++grants_sent_[q.requester];
+  send(q.requester, g);
+}
+
+void HlsEngine::transfer_token(const QueuedRequest& q) {
+  children_.erase(q.requester);
+  sent_frozen_.erase(q.requester);
+  const Mode remaining = owned_mode();
+
+  Message t;
+  t.kind = MsgKind::kToken;
+  t.mode = q.mode;
+  t.sender_owned = remaining;
+  t.queue.assign(queue_.begin(), queue_.end());
+  queue_.clear();
+
+  has_token_ = false;
+  parent_ = q.requester;
+  // We are a plain copyset member now; the new root owns freezing. Clear
+  // our set and un-freeze our subtree — the new root re-freezes potential
+  // granters from the merged queue it just received.
+  frozen_.clear();
+  push_freeze_updates();
+
+  send(q.requester, t);
+}
+
+void HlsEngine::handle_grant(const Message& m) {
+  if (!pending_ || pending_->upgrade || pending_->mode != m.mode) {
+    HLOCK_LOG(kError, "node " << self_ << " unexpected grant of " << m.mode);
+    return;
+  }
+  detach_from_old_parent(m.from);
+  parent_ = m.from;
+  grants_received_[m.from] = m.grant_seq;
+  if (opts_.enable_freezing) {
+    frozen_ = m.frozen;
+  }
+  resolve_pending_with_grant(m.mode);
+  check_queue_nontoken();
+  push_freeze_updates();
+  pump_backlog();
+}
+
+void HlsEngine::handle_token(const Message& m) {
+  if (!pending_) {
+    HLOCK_LOG(kError, "node " << self_ << " unexpected token");
+    return;
+  }
+  detach_from_old_parent(m.from);
+  has_token_ = true;
+  parent_ = NodeId::invalid();
+  if (m.sender_owned != kNone) {
+    children_[m.from] = m.sender_owned;
+  }
+
+  // Merge the shipped queue with anything we queued while non-token,
+  // preserving global FIFO by Lamport stamp (footnote c of Figure 4).
+  std::deque<QueuedRequest> merged;
+  merged.insert(merged.end(), m.queue.begin(), m.queue.end());
+  merged.insert(merged.end(), queue_.begin(), queue_.end());
+  std::stable_sort(merged.begin(), merged.end(),
+                   [this](const QueuedRequest& a, const QueuedRequest& b) {
+                     if (opts_.enable_priorities) return priority_before(a, b);
+                     return a.stamp < b.stamp;
+                   });
+  // Upgrades keep their Rule 7 priority across transfers.
+  std::stable_partition(merged.begin(), merged.end(),
+                        [](const QueuedRequest& r) { return r.upgrade; });
+  // Our own in-flight request is the one the token answers; drop any echo.
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [&](const QueuedRequest& r) {
+                                return r.requester == self_;
+                              }),
+               merged.end());
+  queue_ = std::move(merged);
+
+  if (pending_->upgrade) {
+    const Mode rest = owned_mode_excluding_hold(pending_->id);
+    if (rest == kNone) {
+      resolve_pending_with_grant(Mode::kW);
+    } else {
+      // Our subtree still has granted copies out; wait for their releases
+      // with the original stamp so we stay at the head of the FIFO.
+      enqueue(QueuedRequest{self_, Mode::kW, pending_->stamp, true,
+                            pending_->priority});
+    }
+  } else {
+    resolve_pending_with_grant(m.mode);
+  }
+
+  check_queue_token();
+  if (has_token_) {
+    recompute_frozen_token();
+    push_freeze_updates();
+  }
+  pump_backlog();
+}
+
+void HlsEngine::handle_release(const Message& m) {
+  {
+    const auto it = grants_sent_.find(m.from);
+    const std::uint64_t sent = it == grants_sent_.end() ? 0 : it->second;
+    if (m.grant_seq < sent) {
+      // Stale: this release was issued before the child saw our latest
+      // grant; applying it would erase the newer registration. The child
+      // re-reports when its post-grant owned mode weakens.
+      HLOCK_LOG(kDebug, "node " << self_ << " drops stale release from "
+                                << m.from);
+      return;
+    }
+  }
+  const Mode owned_before = owned_mode();
+  if (m.mode == kNone) {
+    children_.erase(m.from);
+    sent_frozen_.erase(m.from);
+  } else {
+    // A weakening report may only *update* a live registration. If the
+    // child is not registered any more, we already handed it the token
+    // (transfer erased it) while this release was in flight; re-creating
+    // the entry would forge a phantom ownership edge back to the new root.
+    const auto it = children_.find(m.from);
+    if (it == children_.end()) {
+      HLOCK_LOG(kDebug, "node " << self_ << " ignores release from "
+                                << m.from << ": not a child");
+      return;
+    }
+    it->second = m.mode;
+  }
+
+  if (has_token_) {
+    check_queue_token();
+    if (has_token_) {
+      recompute_frozen_token();
+      push_freeze_updates();
+    }
+  } else {
+    propagate_release_if_needed(owned_before);
+    check_queue_nontoken();
+  }
+  pump_backlog();
+}
+
+void HlsEngine::handle_freeze(const Message& m) {
+  if (!opts_.enable_freezing) return;
+  if (has_token_) return;  // stale: we became root since it was sent
+  if (owned_mode() == kNone) {
+    // We already left the sender's copyset (our release crossed this
+    // freeze in flight). A non-owner can grant nothing, and no further
+    // updates would ever reach us — adopting the set would leave it
+    // dangling forever.
+    frozen_.clear();
+    return;
+  }
+  frozen_ = m.frozen;
+  push_freeze_updates();
+}
+
+// ---------------------------------------------------------------------------
+// Queue service
+// ---------------------------------------------------------------------------
+
+void HlsEngine::check_queue() {
+  if (has_token_) {
+    check_queue_token();
+  } else {
+    check_queue_nontoken();
+  }
+}
+
+void HlsEngine::check_queue_token() {
+  if (!recovery_waiting_.empty()) return;  // recovery barrier open
+  // Figure 4 "Check requests on queue": serve strictly head-first and stop
+  // at the first request that cannot be served. Frozen modes are NOT
+  // considered here — freezing protects queued requests from *newer*
+  // arrivals, and the head is the oldest waiter (§4, Fig. 7 discussion).
+  while (has_token_ && !queue_.empty()) {
+    const QueuedRequest q = queue_.front();
+    const Mode mo = owned_mode();
+
+    if (q.requester == self_) {
+      if (q.upgrade) {
+        if (!pending_ || !upgrading_hold_) {
+          queue_.pop_front();  // stale entry
+          continue;
+        }
+        if (owned_mode_excluding_hold(pending_->id) != kNone) break;
+        queue_.pop_front();
+        resolve_pending_with_grant(Mode::kW);
+        continue;
+      }
+      if (!pending_) {
+        queue_.pop_front();  // stale entry
+        continue;
+      }
+      if (!compatible(mo, q.mode)) break;
+      queue_.pop_front();
+      resolve_pending_with_grant(q.mode);
+      continue;
+    }
+
+    if (q.upgrade) {
+      if (owned_mode_excluding_child(q.requester) != kNone) break;
+      queue_.pop_front();
+      transfer_token(q);
+      return;  // no longer the token node
+    }
+    if (tokenable(mo, q.mode)) {
+      queue_.pop_front();
+      transfer_token(q);
+      return;  // no longer the token node
+    }
+    if (token_copy_grantable(mo, q.mode)) {
+      queue_.pop_front();
+      grant_copy(q);
+      continue;
+    }
+    break;
+  }
+}
+
+void HlsEngine::check_queue_nontoken() {
+  // Re-triage every queued request: grant what Rule 3.1 now allows, keep
+  // what Table 2(a) still queues, forward the rest toward the root.
+  std::deque<QueuedRequest> keep;
+  while (!queue_.empty()) {
+    const QueuedRequest q = queue_.front();
+    queue_.pop_front();
+    const Mode mo = owned_mode();
+    const bool frozen_blocks =
+        opts_.enable_freezing && frozen_.contains(q.mode);
+    if (opts_.allow_child_grants && !frozen_blocks && !q.upgrade &&
+        child_grantable(mo, q.mode)) {
+      grant_copy(q);
+      continue;
+    }
+    if (opts_.allow_local_queues && !q.upgrade &&
+        queue_or_forward(pending_mode(), q.mode) == PendingAction::kQueue) {
+      keep.push_back(q);
+      continue;
+    }
+    Message fwd;
+    fwd.kind = MsgKind::kRequest;
+    fwd.req = q;
+    send(parent_, fwd);
+  }
+  queue_ = std::move(keep);
+}
+
+void HlsEngine::detach_from_old_parent(NodeId new_parent) {
+  // Re-parenting: our whole subtree is now accounted under the new parent
+  // (grant) or counts directly as the root's own state (token). If the old
+  // parent still carried us in its copyset, that record would go stale
+  // forever — releases only travel to the *current* parent — leaving
+  // phantom owned modes (and, transitively, ownership cycles) behind.
+  // Telling the old parent we left keeps Def. 3 accounting exact.
+  if (!parent_.valid() || parent_ == new_parent) return;
+  if (owned_mode() == kNone) return;  // old parent erased us already
+  Message r;
+  r.kind = MsgKind::kRelease;
+  r.mode = kNone;
+  r.grant_seq = grants_received_[parent_];
+  send(parent_, r);
+}
+
+// ---------------------------------------------------------------------------
+// Releases
+// ---------------------------------------------------------------------------
+
+void HlsEngine::propagate_release_if_needed(Mode owned_before) {
+  if (has_token_) return;
+  const Mode now = owned_mode();
+  const bool weakened = strength(now) < strength(owned_before);
+  if (!weakened && opts_.lazy_release) return;  // Rule 5.2
+  Message r;
+  r.kind = MsgKind::kRelease;
+  r.mode = now;
+  r.grant_seq = grants_received_[parent_];
+  send(parent_, r);
+  if (now == kNone) {
+    // We left the copyset entirely; frozen-set upkeep no longer reaches us.
+    frozen_.clear();
+    sent_frozen_.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Freezing (Rule 6 / Table 2(b))
+// ---------------------------------------------------------------------------
+
+void HlsEngine::recompute_frozen_token() {
+  if (!opts_.enable_freezing) return;
+  if (!has_token_) return;
+  ModeSet fresh;
+  const Mode mo = owned_mode();
+  for (const QueuedRequest& q : queue_) fresh |= frozen_for(mo, q.mode);
+  frozen_ = fresh;
+}
+
+bool HlsEngine::is_potential_granter(Mode child_owned, ModeSet modes) const {
+  for (const Mode m : kRealModes) {
+    if (modes.contains(m) && child_grantable(child_owned, m)) return true;
+  }
+  return false;
+}
+
+void HlsEngine::push_freeze_updates() {
+  if (!opts_.enable_freezing) return;
+  for (const auto& [child, mode] : children_) {
+    ModeSet target;
+    if (is_potential_granter(mode, frozen_)) target = frozen_;
+    auto it = sent_frozen_.find(child);
+    const ModeSet last = it == sent_frozen_.end() ? ModeSet{} : it->second;
+    if (last == target) continue;
+    sent_frozen_[child] = target;
+    Message f;
+    f.kind = MsgKind::kFreeze;
+    f.frozen = target;
+    send(child, f);
+  }
+}
+
+}  // namespace hlock::core

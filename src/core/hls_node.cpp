@@ -1,0 +1,40 @@
+#include "core/hls_node.hpp"
+
+#include <stdexcept>
+
+namespace hlock::core {
+
+HlsNode::HlsNode(NodeId self, Transport& transport, EngineOptions opts)
+    : self_(self), transport_(transport), opts_(opts) {}
+
+HlsEngine& HlsNode::add_lock(LockId lock, NodeId initial_holder,
+                             NodeId initial_parent) {
+  EngineCallbacks cbs;
+  cbs.on_acquired = [this, lock](RequestId id, Mode mode) {
+    if (on_acquired_) on_acquired_(lock, id, mode);
+  };
+  cbs.on_upgraded = [this, lock](RequestId id) {
+    if (on_upgraded_) on_upgraded_(lock, id);
+  };
+  auto engine =
+      std::make_unique<HlsEngine>(lock, self_, initial_holder, transport_,
+                                  opts_, std::move(cbs), initial_parent);
+  auto [it, inserted] = engines_.emplace(lock, std::move(engine));
+  if (!inserted) throw std::logic_error("lock added twice");
+  return *it->second;
+}
+
+HlsEngine& HlsNode::engine(LockId lock) {
+  const auto it = engines_.find(lock);
+  if (it == engines_.end()) throw std::logic_error("unknown lock");
+  return *it->second;
+}
+
+const HlsEngine* HlsNode::find(LockId lock) const {
+  const auto it = engines_.find(lock);
+  return it == engines_.end() ? nullptr : it->second.get();
+}
+
+void HlsNode::handle(const Message& m) { engine(m.lock).handle(m); }
+
+}  // namespace hlock::core

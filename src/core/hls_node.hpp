@@ -1,0 +1,51 @@
+// HlsNode — one per participant: owns an HlsEngine per lock object and
+// demultiplexes incoming messages by lock id. The application sees a
+// single pair of callbacks tagged with the lock.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.hpp"
+#include "core/hls_engine.hpp"
+#include "msg/message.hpp"
+
+namespace hlock::core {
+
+class HlsNode {
+ public:
+  using AcquiredFn = std::function<void(LockId, RequestId, Mode)>;
+  using UpgradedFn = std::function<void(LockId, RequestId)>;
+
+  HlsNode(NodeId self, Transport& transport, EngineOptions opts = {});
+
+  /// Instantiate the engine for `lock`; `initial_holder` seeds the token
+  /// tree and must be identical on every node. `initial_parent` optionally
+  /// places this node in a non-star initial topology.
+  HlsEngine& add_lock(LockId lock, NodeId initial_holder,
+                      NodeId initial_parent = NodeId::invalid());
+
+  /// Engine for a lock added earlier; throws if unknown.
+  [[nodiscard]] HlsEngine& engine(LockId lock);
+  [[nodiscard]] const HlsEngine* find(LockId lock) const;
+
+  /// Route one incoming message to its lock's engine.
+  void handle(const Message& m);
+
+  void set_on_acquired(AcquiredFn fn) { on_acquired_ = std::move(fn); }
+  void set_on_upgraded(UpgradedFn fn) { on_upgraded_ = std::move(fn); }
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::size_t lock_count() const { return engines_.size(); }
+
+ private:
+  NodeId self_;
+  Transport& transport_;
+  EngineOptions opts_;
+  AcquiredFn on_acquired_;
+  UpgradedFn on_upgraded_;
+  std::map<LockId, std::unique_ptr<HlsEngine>> engines_;
+};
+
+}  // namespace hlock::core

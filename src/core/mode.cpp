@@ -1,0 +1,36 @@
+#include "core/mode.hpp"
+
+#include <ostream>
+
+namespace hlock {
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::kNone: return "-";
+    case Mode::kIR: return "IR";
+    case Mode::kR: return "R";
+    case Mode::kU: return "U";
+    case Mode::kIW: return "IW";
+    case Mode::kW: return "W";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Mode m) {
+  return os << to_string(m);
+}
+
+std::string ModeSet::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Mode m : kRealModes) {
+    if (!contains(m)) continue;
+    if (!first) out += ",";
+    out += hlock::to_string(m);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hlock

@@ -1,0 +1,202 @@
+// Lock modes and the four rule tables of Desai & Mueller (ICDCS 2003).
+//
+// The paper defines five CORBA Concurrency Service lock modes plus the
+// "no lock" mode:
+//
+//   ∅ < IR < R < U = IW < W            (strength order, Eq. 1)
+//
+// and drives the whole protocol off four lookup tables:
+//   Table 1(a) — mode compatibility,
+//   Table 1(b) — which owned modes let a NON-token node grant a request
+//                (derived from Rule 3.1: compatible ∧ owned ≥ requested),
+//   Table 2(a) — queue locally vs forward to parent when a non-token node
+//                with a pending request cannot grant (Rule 4.1),
+//   Table 2(b) — which modes the token node freezes when it queues an
+//                incompatible request (Rule 6); closed form
+//                frozen(M1,M2) = { m : compat(m,M1) ∧ ¬compat(m,M2) }.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+namespace hlock {
+
+/// Lock access mode. kNone represents "no lock owned/held" (∅ in the paper).
+enum class Mode : std::uint8_t {
+  kNone = 0,  ///< ∅ — no lock
+  kIR = 1,    ///< intention read
+  kR = 2,     ///< read (shared)
+  kU = 3,     ///< upgrade (exclusive read, upgradeable to W)
+  kIW = 4,    ///< intention write
+  kW = 5,     ///< write (exclusive)
+};
+
+inline constexpr int kModeCount = 6;
+/// The five real (non-∅) modes, in strength order.
+inline constexpr Mode kRealModes[5] = {Mode::kIR, Mode::kR, Mode::kU,
+                                       Mode::kIW, Mode::kW};
+
+const char* to_string(Mode m);
+std::ostream& operator<<(std::ostream& os, Mode m);
+
+/// Strength rank per Eq. 1 (∅=0, IR=1, R=2, U=IW=3, W=4). A stronger mode
+/// is compatible with fewer modes.
+constexpr int strength(Mode m) {
+  constexpr int kRank[kModeCount] = {0, 1, 2, 3, 3, 4};
+  return kRank[static_cast<int>(m)];
+}
+
+/// strength(a) >= strength(b). Note U and IW compare equal.
+constexpr bool stronger_or_equal(Mode a, Mode b) {
+  return strength(a) >= strength(b);
+}
+
+/// The stronger of two modes. For the U/IW tie the first argument wins;
+/// owned-mode computations never depend on which of the pair is reported
+/// because both behave identically in every strength comparison.
+constexpr Mode strongest(Mode a, Mode b) {
+  return strength(a) >= strength(b) ? a : b;
+}
+
+/// Table 1(a): true iff a and b may be held concurrently. kNone is
+/// compatible with everything.
+constexpr bool compatible(Mode a, Mode b) {
+  // Row-major [a][b]; 1 = compatible. Derived from the OMG Concurrency
+  // Service conflict table the paper cites as [6].
+  constexpr bool kCompat[kModeCount][kModeCount] = {
+      //               ∅  IR  R  U  IW  W
+      /* ∅  */ {1, 1, 1, 1, 1, 1},
+      /* IR */ {1, 1, 1, 1, 1, 0},
+      /* R  */ {1, 1, 1, 1, 0, 0},
+      /* U  */ {1, 1, 1, 0, 0, 0},
+      /* IW */ {1, 1, 0, 0, 1, 0},
+      /* W  */ {1, 0, 0, 0, 0, 0},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// Small value-type set of modes (bitmask). Used for frozen-mode sets.
+class ModeSet {
+ public:
+  constexpr ModeSet() = default;
+  constexpr ModeSet(std::initializer_list<Mode> modes) {
+    for (const Mode m : modes) insert(m);
+  }
+
+  constexpr void insert(Mode m) {
+    bits_ |= static_cast<std::uint8_t>(1u << static_cast<int>(m));
+  }
+  constexpr void erase(Mode m) {
+    bits_ &= static_cast<std::uint8_t>(~(1u << static_cast<int>(m)));
+  }
+  [[nodiscard]] constexpr bool contains(Mode m) const {
+    return (bits_ & (1u << static_cast<int>(m))) != 0;
+  }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr std::size_t size() const {
+    return static_cast<std::size_t>(__builtin_popcount(bits_));
+  }
+  constexpr void clear() { bits_ = 0; }
+
+  constexpr ModeSet& operator|=(ModeSet other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  friend constexpr ModeSet operator|(ModeSet a, ModeSet b) {
+    a |= b;
+    return a;
+  }
+  friend constexpr ModeSet operator&(ModeSet a, ModeSet b) {
+    a.bits_ &= b.bits_;
+    return a;
+  }
+  friend constexpr bool operator==(ModeSet a, ModeSet b) {
+    return a.bits_ == b.bits_;
+  }
+  friend constexpr bool operator!=(ModeSet a, ModeSet b) {
+    return a.bits_ != b.bits_;
+  }
+
+  /// True iff every member of this set is a subset of `other`.
+  [[nodiscard]] constexpr bool subset_of(ModeSet other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+
+  [[nodiscard]] constexpr std::uint8_t raw() const { return bits_; }
+  static constexpr ModeSet from_raw(std::uint8_t bits) {
+    ModeSet s;
+    s.bits_ = bits & 0x3f;
+    return s;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::uint8_t bits_{0};
+};
+
+/// Table 1(b) / Rule 3.1: may a NON-token node that owns `owned` grant a
+/// request for `req`? (Freezing, Rule 6, is checked separately.)
+constexpr bool child_grantable(Mode owned, Mode req) {
+  return compatible(owned, req) && stronger_or_equal(owned, req);
+}
+
+/// Rule 3.2, copy-grant half: the token node owning `owned` grants a copy
+/// when modes are compatible and owned ≥ req.
+constexpr bool token_copy_grantable(Mode owned, Mode req) {
+  return compatible(owned, req) && stronger_or_equal(owned, req);
+}
+
+/// Rule 3.2, transfer half: the token node hands the token over when modes
+/// are compatible and owned < req.
+constexpr bool tokenable(Mode owned, Mode req) {
+  return compatible(owned, req) && !stronger_or_equal(owned, req);
+}
+
+/// True iff a hold may be atomically replaced by `to` without consulting
+/// anyone: every mode compatible with `from` must also be compatible with
+/// `to`, so no concurrent holder can be invalidated. (e.g. W->R, U->R,
+/// R->IR are safe; U->IW is NOT: a concurrent R holder is compatible with
+/// U but conflicts with IW.)
+constexpr bool safe_downgrade(Mode from, Mode to) {
+  for (const Mode m : kRealModes) {
+    if (compatible(m, from) && !compatible(m, to)) return false;
+  }
+  return true;
+}
+
+/// Decision for Table 2(a).
+enum class PendingAction : std::uint8_t { kForward, kQueue };
+
+/// Table 2(a) / Rule 4.1: a non-token node with a pending request for
+/// `pending` (possibly kNone) receives a request for `req` it cannot
+/// grant — queue it locally or forward it to the parent?
+constexpr PendingAction queue_or_forward(Mode pending, Mode req) {
+  constexpr bool kQueueIt[kModeCount][kModeCount] = {
+      // req:          ∅  IR  R  U  IW  W          (pending = row)
+      /* ∅  */ {0, 0, 0, 0, 0, 0},
+      /* IR */ {0, 1, 0, 0, 0, 0},
+      /* R  */ {0, 0, 1, 0, 0, 0},
+      /* U  */ {0, 0, 0, 1, 1, 1},
+      /* IW */ {0, 0, 0, 0, 1, 0},
+      /* W  */ {0, 1, 1, 1, 1, 1},
+  };
+  return kQueueIt[static_cast<int>(pending)][static_cast<int>(req)]
+             ? PendingAction::kQueue
+             : PendingAction::kForward;
+}
+
+/// Table 2(b) / Rule 6: the set of modes frozen at the token node when it
+/// owns `owned` and queues an (incompatible) request for `queued`:
+/// every mode still grantable under `owned` that would delay `queued`.
+constexpr ModeSet frozen_for(Mode owned, Mode queued) {
+  ModeSet out;
+  for (const Mode m : kRealModes) {
+    if (compatible(m, owned) && !compatible(m, queued)) out.insert(m);
+  }
+  return out;
+}
+
+}  // namespace hlock

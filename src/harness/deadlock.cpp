@@ -1,0 +1,57 @@
+#include "harness/deadlock.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace hlock::harness {
+
+lockmgr::WaitForGraph build_wait_graph(HlsCluster& cluster) {
+  lockmgr::WaitForGraph graph;
+  const std::size_t n = cluster.node_count();
+  const std::uint32_t locks = cluster.layout().lock_count();
+
+  for (std::uint32_t l = 0; l < locks; ++l) {
+    const LockId lock{l};
+
+    // Current holders of this lock (node -> strongest held mode).
+    std::map<NodeId, Mode> holders;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& engine = cluster.node(i).engine(lock);
+      const Mode held = engine.held_mode();
+      if (held != Mode::kNone) holders[engine.self()] = held;
+    }
+
+    // Waiters: pending local requests plus everything queued anywhere.
+    std::vector<std::pair<NodeId, Mode>> waiters;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& engine = cluster.node(i).engine(lock);
+      if (engine.has_pending()) {
+        waiters.emplace_back(engine.self(), engine.pending_request_mode());
+      }
+      for (const QueuedRequest& q : engine.queue()) {
+        if (q.requester != engine.self()) {
+          waiters.emplace_back(q.requester, q.mode);
+        }
+      }
+    }
+
+    for (const auto& [waiter, mode] : waiters) {
+      for (const auto& [holder, held] : holders) {
+        if (holder == waiter) continue;
+        if (!compatible(held, mode)) graph.add_edge(waiter, holder);
+      }
+    }
+  }
+  return graph;
+}
+
+std::string describe_deadlock(HlsCluster& cluster) {
+  const auto cycle = build_wait_graph(cluster).find_cycle();
+  if (!cycle) return {};
+  std::ostringstream os;
+  os << "deadlock cycle:";
+  for (const NodeId node : *cycle) os << " " << node;
+  return os.str();
+}
+
+}  // namespace hlock::harness

@@ -1,0 +1,28 @@
+// DeadlockMonitor — global-state observer building the wait-for graph of
+// an HlsCluster across ALL its locks (DESIGN.md: diagnostic substrate for
+// application-level lock-ordering bugs the protocol itself cannot
+// prevent).
+//
+// A node WAITS if it has a pending request on some lock, or a request of
+// its sits queued anywhere; it waits FOR every node currently holding an
+// incompatible mode on that lock. A cycle in this graph is a genuine
+// application deadlock (the protocol serves each single lock FIFO, so
+// only cross-lock hold-and-wait can close a cycle).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "lockmgr/waitgraph.hpp"
+
+namespace hlock::harness {
+
+/// Build the instantaneous wait-for graph of the cluster.
+lockmgr::WaitForGraph build_wait_graph(HlsCluster& cluster);
+
+/// Convenience: detect and pretty-print a deadlock cycle, empty if none.
+std::string describe_deadlock(HlsCluster& cluster);
+
+}  // namespace hlock::harness

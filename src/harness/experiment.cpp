@@ -1,0 +1,92 @@
+#include "harness/experiment.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace hlock::harness {
+
+const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHls: return "our-protocol";
+    case Protocol::kNaimiSameWork: return "naimi-same-work";
+    case Protocol::kNaimiPure: return "naimi-pure";
+  }
+  return "?";
+}
+
+ExperimentResult run_experiment(Protocol protocol, std::size_t nodes,
+                                const workload::WorkloadSpec& spec,
+                                const core::EngineOptions& opts) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.spec = spec;
+  config.engine_opts = opts;
+
+  switch (protocol) {
+    case Protocol::kHls: {
+      HlsCluster cluster(config);
+      cluster.run();
+      return cluster.result();
+    }
+    case Protocol::kNaimiSameWork: {
+      NaimiCluster cluster(config, /*pure=*/false);
+      cluster.run();
+      return cluster.result();
+    }
+    case Protocol::kNaimiPure: {
+      NaimiCluster cluster(config, /*pure=*/true);
+      cluster.run();
+      return cluster.result();
+    }
+  }
+  throw std::logic_error("bad protocol");
+}
+
+std::vector<std::size_t> sweep_node_counts(std::size_t max_nodes) {
+  std::vector<std::size_t> out;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{5}, std::size_t{10},
+                              std::size_t{20}, std::size_t{40},
+                              std::size_t{60}, std::size_t{80},
+                              std::size_t{100}, std::size_t{120}}) {
+    if (n <= max_nodes) out.push_back(n);
+  }
+  return out;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2)
+         << (c < cells.size() ? cells[c] : "");
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (const std::size_t w : widths) rule += std::string(w + 2, '-');
+  os << rule << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace hlock::harness

@@ -1,0 +1,43 @@
+// One-call experiment runner for the paper's three protocol
+// configurations, plus reporting helpers used by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/hls_engine.hpp"
+#include "harness/cluster.hpp"
+#include "harness/metrics.hpp"
+#include "workload/spec.hpp"
+
+namespace hlock::harness {
+
+/// The three curves of Figures 5 and 6.
+enum class Protocol { kHls, kNaimiSameWork, kNaimiPure };
+
+const char* to_string(Protocol p);
+
+/// Build the matching cluster, run the full workload, return the metrics.
+ExperimentResult run_experiment(Protocol protocol, std::size_t nodes,
+                                const workload::WorkloadSpec& spec,
+                                const core::EngineOptions& opts = {});
+
+/// Node counts used for the scalability sweeps (the paper plots 0..120).
+std::vector<std::size_t> sweep_node_counts(std::size_t max_nodes = 120);
+
+/// Fixed-width ASCII table emitter for bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void row(const std::vector<std::string>& cells);
+  void print(std::ostream& os) const;
+
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hlock::harness

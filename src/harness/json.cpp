@@ -1,0 +1,58 @@
+#include "harness/json.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace hlock::harness {
+
+namespace {
+void append_summary(std::ostringstream& os, const Summary& s) {
+  os << "{\"count\":" << s.count() << ",\"mean\":" << s.mean()
+     << ",\"min\":" << s.min() << ",\"max\":" << s.max()
+     << ",\"p50\":" << s.percentile(0.5) << ",\"p95\":" << s.percentile(0.95)
+     << ",\"stddev\":" << s.stddev() << "}";
+}
+}  // namespace
+
+std::string to_json(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << "{\"nodes\":" << r.nodes << ",\"app_ops\":" << r.app_ops
+     << ",\"lock_requests\":" << r.lock_requests
+     << ",\"messages\":" << r.messages
+     << ",\"msgs_per_lock_request\":" << r.msgs_per_lock_request()
+     << ",\"msgs_per_op\":" << r.msgs_per_op()
+     << ",\"virtual_end_us\":" << r.virtual_end;
+  os << ",\"messages_by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, count] : r.messages_by_kind.all()) {
+    if (!first) os << ",";
+    os << "\"" << kind << "\":" << count;
+    first = false;
+  }
+  os << "},\"latency_factor\":";
+  append_summary(os, r.latency_factor);
+  os << ",\"latency_by_kind\":{";
+  first = true;
+  for (const auto& [kind, summary] : r.latency_by_kind) {
+    if (!first) os << ",";
+    os << "\"" << kind << "\":";
+    append_summary(os, summary);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void write_json_array(std::ostream& os,
+                      const std::vector<ExperimentResult>& results) {
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << "  " << to_json(results[i]);
+    if (i + 1 < results.size()) os << ",";
+    os << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace hlock::harness

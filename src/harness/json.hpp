@@ -1,0 +1,20 @@
+// Minimal JSON emission for experiment results (no external deps) — the
+// machine-readable counterpart of the ASCII tables, for plotting
+// pipelines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "harness/metrics.hpp"
+
+namespace hlock::harness {
+
+/// Serialize one result as a JSON object (single line).
+std::string to_json(const ExperimentResult& result);
+
+/// Write an array of results (e.g. one per node-count of a sweep).
+void write_json_array(std::ostream& os,
+                      const std::vector<ExperimentResult>& results);
+
+}  // namespace hlock::harness

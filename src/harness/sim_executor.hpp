@@ -1,0 +1,21 @@
+// Executor implementation over the discrete-event simulator.
+#pragma once
+
+#include "common/executor.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlock::harness {
+
+class SimExecutor final : public Executor {
+ public:
+  explicit SimExecutor(sim::Simulator& simulator) : sim_(simulator) {}
+  void schedule(Duration delay, std::function<void()> fn) override {
+    sim_.schedule_after(delay, std::move(fn));
+  }
+  [[nodiscard]] TimePoint now() const override { return sim_.now(); }
+
+ private:
+  sim::Simulator& sim_;
+};
+
+}  // namespace hlock::harness

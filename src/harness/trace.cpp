@@ -1,0 +1,113 @@
+#include "harness/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "lockmgr/op.hpp"
+
+namespace hlock::harness {
+
+const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kSend: return "send";
+    case TraceEvent::Kind::kDrop: return "DROP";
+    case TraceEvent::Kind::kDeliver: return "recv";
+    case TraceEvent::Kind::kOpStart: return "op-start";
+    case TraceEvent::Kind::kOpDone: return "op-done";
+  }
+  return "?";
+}
+
+void TraceRecorder::attach(detail::ClusterBase& cluster) {
+  cluster.network().on_send = [this, &cluster](NodeId from, NodeId to,
+                                               const Message& m,
+                                               bool dropped) {
+    TraceEvent ev;
+    ev.at = cluster.simulator().now();
+    ev.kind = dropped ? TraceEvent::Kind::kDrop : TraceEvent::Kind::kSend;
+    ev.from = from;
+    ev.to = to;
+    ev.lock = m.lock;
+    ev.msg = m.kind;
+    ev.mode = m.mode != Mode::kNone ? m.mode : m.req.mode;
+    ev.requester = m.req.requester;
+    record(ev);
+  };
+  cluster.network().on_deliver = [this, &cluster](NodeId from, NodeId to,
+                                                  const Message& m) {
+    TraceEvent ev;
+    ev.at = cluster.simulator().now();
+    ev.kind = TraceEvent::Kind::kDeliver;
+    ev.from = from;
+    ev.to = to;
+    ev.lock = m.lock;
+    ev.msg = m.kind;
+    ev.mode = m.mode != Mode::kNone ? m.mode : m.req.mode;
+    ev.requester = m.req.requester;
+    record(ev);
+  };
+  cluster.on_op_done = [this, &cluster](NodeId node,
+                                        const lockmgr::OpStats& stats) {
+    TraceEvent ev;
+    ev.at = cluster.simulator().now();
+    ev.kind = TraceEvent::Kind::kOpDone;
+    ev.from = node;
+    ev.note = lockmgr::to_string(stats.op.kind);
+    record(ev);
+  };
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  ++total_;
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::for_lock(LockId lock) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.lock == lock && ev.kind != TraceEvent::Kind::kOpDone)
+      out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceRecorder::for_node(NodeId node) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : events_) {
+    if (ev.from == node || ev.to == node || ev.requester == node)
+      out.push_back(ev);
+  }
+  return out;
+}
+
+void TraceRecorder::render(std::ostream& os, std::size_t max_lines) const {
+  const std::size_t start =
+      events_.size() > max_lines ? events_.size() - max_lines : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    os << std::setw(12) << ev.at << "  " << std::setw(8)
+       << to_string(ev.kind) << "  ";
+    if (ev.kind == TraceEvent::Kind::kOpDone) {
+      os << "node " << ev.from << " finished " << ev.note << '\n';
+      continue;
+    }
+    os << ev.from << " -> " << ev.to << "  lock " << ev.lock << "  "
+       << hlock::to_string(ev.msg);
+    if (ev.msg == MsgKind::kRequest) {
+      os << " {" << ev.requester << "," << ev.mode << "}";
+    } else if (ev.mode != Mode::kNone) {
+      os << " " << ev.mode;
+    }
+    if (!ev.note.empty()) os << "  (" << ev.note << ")";
+    os << '\n';
+  }
+}
+
+}  // namespace hlock::harness

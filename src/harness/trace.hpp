@@ -1,0 +1,77 @@
+// Protocol trace recording and rendering.
+//
+// Attaches to a cluster's simulated network and records every message
+// send/drop/delivery plus application-op boundaries into a bounded
+// buffer; renders a human-readable timeline. This is the debugging view
+// the repo's own protocol bugs were found with (DESIGN.md §2 notes),
+// packaged as a library feature.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "harness/cluster.hpp"
+
+namespace hlock::harness {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kSend,
+    kDrop,
+    kDeliver,
+    kOpStart,  // reserved for driver integration
+    kOpDone,
+  };
+
+  TimePoint at{0};
+  Kind kind{Kind::kSend};
+  NodeId from{};
+  NodeId to{};
+  LockId lock{};
+  MsgKind msg{MsgKind::kRequest};
+  /// Mode carried by the message (grant/release/token) or op summary.
+  Mode mode{Mode::kNone};
+  NodeId requester{};
+  std::string note;
+};
+
+const char* to_string(TraceEvent::Kind k);
+
+/// Bounded-memory recorder; keeps the most recent `capacity` events.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 100000)
+      : capacity_(capacity) {}
+
+  /// Install hooks on the cluster's network and op-completion path.
+  /// Replaces any previously installed on_send/on_deliver/on_op_done
+  /// observers.
+  void attach(detail::ClusterBase& cluster);
+
+  void record(TraceEvent event);
+  void clear();
+
+  [[nodiscard]] const std::deque<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+
+  /// Events touching one lock, in order.
+  [[nodiscard]] std::vector<TraceEvent> for_lock(LockId lock) const;
+  /// Events touching one node (as sender, receiver or requester).
+  [[nodiscard]] std::vector<TraceEvent> for_node(NodeId node) const;
+
+  /// Render the last `max_lines` events as a timeline.
+  void render(std::ostream& os, std::size_t max_lines = 100) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceEvent> events_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace hlock::harness

@@ -1,0 +1,86 @@
+#include "lockmgr/hierarchy.hpp"
+
+#include <algorithm>
+
+namespace hlock::lockmgr {
+
+Hierarchy::Hierarchy(std::string root_name) {
+  nodes_.push_back(Node{std::move(root_name), ResourceId::invalid(), 0});
+}
+
+const Hierarchy::Node& Hierarchy::node(ResourceId r) const {
+  if (!r.valid() || r.value >= nodes_.size())
+    throw std::out_of_range("unknown resource");
+  return nodes_[r.value];
+}
+
+ResourceId Hierarchy::add_child(ResourceId parent, std::string name) {
+  const Node& p = node(parent);  // validates
+  ResourceId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(Node{std::move(name), parent, p.depth + 1});
+  return id;
+}
+
+LockId Hierarchy::lock_of(ResourceId r) const {
+  (void)node(r);  // validates
+  return LockId{r.value};
+}
+
+ResourceId Hierarchy::parent_of(ResourceId r) const { return node(r).parent; }
+
+const std::string& Hierarchy::name_of(ResourceId r) const {
+  return node(r).name;
+}
+
+std::uint32_t Hierarchy::depth_of(ResourceId r) const { return node(r).depth; }
+
+std::vector<ResourceId> Hierarchy::children_of(ResourceId r) const {
+  (void)node(r);
+  std::vector<ResourceId> out;
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == r) out.push_back(ResourceId{i});
+  }
+  return out;
+}
+
+std::vector<ResourceId> Hierarchy::path_to(ResourceId target) const {
+  std::vector<ResourceId> path;
+  ResourceId cursor = target;
+  while (cursor.valid()) {
+    path.push_back(cursor);
+    cursor = node(cursor).parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Mode intent_for(Mode leaf_mode) {
+  switch (leaf_mode) {
+    case Mode::kIR:
+    case Mode::kR:
+      return Mode::kIR;
+    case Mode::kU:
+    case Mode::kIW:
+    case Mode::kW:
+      return Mode::kIW;
+    case Mode::kNone:
+      break;
+  }
+  throw std::invalid_argument("no intent mode for ∅");
+}
+
+std::vector<PlanStep> lock_plan(const Hierarchy& hierarchy, ResourceId target,
+                                Mode mode) {
+  if (mode == Mode::kNone) throw std::invalid_argument("cannot plan for ∅");
+  const auto path = hierarchy.path_to(target);
+  std::vector<PlanStep> plan;
+  plan.reserve(path.size());
+  const Mode intent = intent_for(mode);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    plan.push_back(PlanStep{hierarchy.lock_of(path[i]), intent});
+  }
+  plan.push_back(PlanStep{hierarchy.lock_of(target), mode});
+  return plan;
+}
+
+}  // namespace hlock::lockmgr

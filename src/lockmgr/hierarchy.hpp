@@ -1,0 +1,74 @@
+// Arbitrary-depth resource hierarchies.
+//
+// §3.1: "Hierarchical locking schemes enhance parallelism by
+// distinguishing between lock modes on the structural data
+// representation, e.g., when a database, multiple tables within the
+// database and entries within tables are associated with distinct locks."
+// ResourceLayout covers the paper's two-level evaluation; this module is
+// the general form: a tree of named resources, one lock per resource, and
+// lock-plan computation (intents on every ancestor, the requested mode on
+// the target — top-down, the standard multi-granularity discipline of
+// Gray et al. [5]).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/mode.hpp"
+
+namespace hlock::lockmgr {
+
+class Hierarchy {
+ public:
+  /// Creates the hierarchy with its root resource (e.g. "database").
+  explicit Hierarchy(std::string root_name);
+
+  /// Add a resource under `parent`; returns its id. Lock ids are assigned
+  /// densely in creation order (root = 0), so every node of a cluster
+  /// building the same hierarchy agrees on them.
+  ResourceId add_child(ResourceId parent, std::string name);
+
+  [[nodiscard]] ResourceId root() const { return ResourceId{0}; }
+  [[nodiscard]] std::uint32_t resource_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  [[nodiscard]] LockId lock_of(ResourceId r) const;
+  [[nodiscard]] ResourceId parent_of(ResourceId r) const;
+  [[nodiscard]] const std::string& name_of(ResourceId r) const;
+  [[nodiscard]] std::uint32_t depth_of(ResourceId r) const;
+  [[nodiscard]] std::vector<ResourceId> children_of(ResourceId r) const;
+
+  /// Root-to-target resource path (inclusive).
+  [[nodiscard]] std::vector<ResourceId> path_to(ResourceId target) const;
+
+ private:
+  struct Node {
+    std::string name;
+    ResourceId parent;  ///< invalid for the root
+    std::uint32_t depth;
+  };
+  [[nodiscard]] const Node& node(ResourceId r) const;
+  std::vector<Node> nodes_;
+};
+
+/// One step of a lock plan.
+struct PlanStep {
+  LockId lock{};
+  Mode mode{Mode::kNone};
+
+  friend bool operator==(const PlanStep&, const PlanStep&) = default;
+};
+
+/// The intent mode ancestors must carry for an access in `leaf_mode`:
+/// IR for read-side modes (IR, R), IW for write-side modes (U, IW, W).
+Mode intent_for(Mode leaf_mode);
+
+/// Compute the top-down lock plan for accessing `target` in `mode`:
+/// intents on every proper ancestor, then `mode` on the target itself.
+std::vector<PlanStep> lock_plan(const Hierarchy& hierarchy, ResourceId target,
+                                Mode mode);
+
+}  // namespace hlock::lockmgr

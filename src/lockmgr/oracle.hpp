@@ -1,0 +1,94 @@
+// Centralized reference lock manager — the correctness oracle.
+//
+// Property tests mirror every hold the distributed engines admit into this
+// table; it throws the moment two incompatible holds coexist on one lock,
+// independent of any engine bookkeeping. It is also usable standalone as a
+// (trivially correct) single-node concurrency service for differential
+// tests of the compatibility semantics.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/mode.hpp"
+
+namespace hlock::lockmgr {
+
+class IncompatibleHolds : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Multiset of (node, mode) holds for one lock with compatibility checking.
+class OracleLock {
+ public:
+  /// True iff `m` is compatible with every current hold.
+  [[nodiscard]] bool can_hold(Mode m) const {
+    for (const auto& h : holds_)
+      if (!compatible(h.mode, m)) return false;
+    return true;
+  }
+
+  /// Record a hold; throws IncompatibleHolds if it conflicts.
+  void add(NodeId node, Mode m) {
+    if (!can_hold(m))
+      throw IncompatibleHolds("oracle: incompatible concurrent holds");
+    holds_.push_back({node, m});
+  }
+
+  /// Remove one instance of (node, m); throws if absent.
+  void remove(NodeId node, Mode m) {
+    for (auto it = holds_.begin(); it != holds_.end(); ++it) {
+      if (it->node == node && it->mode == m) {
+        holds_.erase(it);
+        return;
+      }
+    }
+    throw std::logic_error("oracle: removing a hold that was never added");
+  }
+
+  /// Atomically replace one hold's mode (Rule 7 upgrade); validates the
+  /// new mode against every *other* hold.
+  void replace(NodeId node, Mode from, Mode to) {
+    remove(node, from);
+    try {
+      add(node, to);
+    } catch (...) {
+      holds_.push_back({node, from});  // restore for diagnosability
+      throw;
+    }
+  }
+
+  [[nodiscard]] std::size_t hold_count() const { return holds_.size(); }
+  /// Strongest mode currently held (kNone when empty).
+  [[nodiscard]] Mode strongest_hold() const {
+    Mode m = Mode::kNone;
+    for (const auto& h : holds_) m = strongest(m, h.mode);
+    return m;
+  }
+
+ private:
+  struct Hold {
+    NodeId node;
+    Mode mode;
+  };
+  std::vector<Hold> holds_;
+};
+
+/// Oracle across many locks.
+class OracleLockManager {
+ public:
+  OracleLock& lock(LockId id) { return locks_[id]; }
+  [[nodiscard]] std::size_t total_holds() const {
+    std::size_t n = 0;
+    for (const auto& [id, l] : locks_) n += l.hold_count();
+    return n;
+  }
+
+ private:
+  std::map<LockId, OracleLock> locks_;
+};
+
+}  // namespace hlock::lockmgr

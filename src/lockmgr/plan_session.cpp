@@ -1,0 +1,58 @@
+#include "lockmgr/plan_session.hpp"
+
+#include <stdexcept>
+
+namespace hlock::lockmgr {
+
+PlanSession::PlanSession(core::HlsNode& node, Executor& executor)
+    : node_(node), exec_(executor) {
+  node_.set_on_acquired([this](LockId lock, RequestId id, Mode mode) {
+    on_acquired(lock, id, mode);
+  });
+}
+
+void PlanSession::run(std::vector<PlanStep> plan, Duration cs,
+                      PlanDoneFn done) {
+  if (active_) throw std::logic_error("session already executing a plan");
+  if (plan.empty()) throw std::invalid_argument("empty lock plan");
+  active_ = true;
+  plan_ = std::move(plan);
+  held_.clear();
+  next_ = 0;
+  cs_ = cs;
+  done_ = std::move(done);
+  started_ = exec_.now();
+  acquire_next();
+}
+
+void PlanSession::acquire_next() {
+  (void)node_.engine(plan_[next_].lock).request_lock(plan_[next_].mode);
+}
+
+void PlanSession::on_acquired(LockId lock, RequestId id, Mode /*mode*/) {
+  if (!active_ || next_ >= plan_.size() || lock != plan_[next_].lock)
+    throw std::logic_error("unexpected acquisition callback");
+  held_.push_back(id);
+  ++next_;
+  if (next_ < plan_.size()) {
+    exec_.schedule(0, [this] { acquire_next(); });
+    return;
+  }
+  const Duration latency = exec_.now() - started_;
+  exec_.schedule(cs_, [this, latency] {
+    for (std::size_t i = plan_.size(); i-- > 0;) {
+      node_.engine(plan_[i].lock).unlock(held_[i]);
+    }
+    active_ = false;
+    Result result;
+    result.acquire_latency = latency;
+    result.lock_requests = static_cast<std::uint32_t>(plan_.size());
+    if (done_) {
+      PlanDoneFn done = std::move(done_);
+      done_ = nullptr;
+      done(result);
+    }
+  });
+}
+
+}  // namespace hlock::lockmgr

@@ -1,0 +1,50 @@
+// PlanSession — executes an arbitrary top-down lock plan (from
+// lockmgr::lock_plan or hand-built) against an HlsNode: acquire each
+// (lock, mode) step in order, dwell in the critical section, release in
+// reverse. The general-depth sibling of HierSession's fixed two-level
+// flow.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/types.hpp"
+#include "core/hls_node.hpp"
+#include "lockmgr/hierarchy.hpp"
+
+namespace hlock::lockmgr {
+
+class PlanSession {
+ public:
+  struct Result {
+    Duration acquire_latency{0};
+    std::uint32_t lock_requests{0};
+  };
+  using PlanDoneFn = std::function<void(const Result&)>;
+
+  /// Takes over the node's acquisition callback; one session per node.
+  PlanSession(core::HlsNode& node, Executor& executor);
+
+  /// Acquire every step of `plan` in order, hold for `cs`, release in
+  /// reverse, then invoke `done` (from executor context). One at a time.
+  void run(std::vector<PlanStep> plan, Duration cs, PlanDoneFn done);
+
+  [[nodiscard]] bool busy() const { return active_; }
+
+ private:
+  void acquire_next();
+  void on_acquired(LockId lock, RequestId id, Mode mode);
+
+  core::HlsNode& node_;
+  Executor& exec_;
+  bool active_{false};
+  std::vector<PlanStep> plan_;
+  std::vector<RequestId> held_;
+  std::size_t next_{0};
+  Duration cs_{0};
+  TimePoint started_{0};
+  PlanDoneFn done_;
+};
+
+}  // namespace hlock::lockmgr

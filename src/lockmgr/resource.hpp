@@ -1,0 +1,49 @@
+// Resource layout: the paper's two-level granularity hierarchy.
+//
+// One table lock guards the whole reservation table; one entry lock guards
+// each row. Our protocol acquires {table: intent, entry: leaf} pairs or a
+// single table-level lock; the Naimi baselines have no granularity and
+// compensate as §4 describes (all entry locks in ascending order).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hlock::lockmgr {
+
+/// Deterministic lock-id layout shared by every node: lock 0 is the table
+/// lock, locks 1..entry_count are the entry locks.
+class ResourceLayout {
+ public:
+  explicit ResourceLayout(std::uint32_t entry_count)
+      : entry_count_(entry_count) {
+    if (entry_count == 0) throw std::invalid_argument("need >= 1 entry");
+  }
+
+  [[nodiscard]] LockId table_lock() const { return LockId{0}; }
+  [[nodiscard]] LockId entry_lock(std::uint32_t entry) const {
+    if (entry >= entry_count_) throw std::out_of_range("entry index");
+    return LockId{entry + 1};
+  }
+  [[nodiscard]] std::uint32_t entry_count() const { return entry_count_; }
+  /// Total number of lock objects (table + entries).
+  [[nodiscard]] std::uint32_t lock_count() const { return entry_count_ + 1; }
+
+  /// All entry locks in ascending id order — the deadlock-free acquisition
+  /// order the Naimi same-work configuration must follow.
+  [[nodiscard]] std::vector<LockId> entry_locks_in_order() const {
+    std::vector<LockId> out;
+    out.reserve(entry_count_);
+    for (std::uint32_t e = 0; e < entry_count_; ++e)
+      out.push_back(entry_lock(e));
+    return out;
+  }
+
+ private:
+  std::uint32_t entry_count_;
+};
+
+}  // namespace hlock::lockmgr

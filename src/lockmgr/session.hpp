@@ -1,0 +1,147 @@
+// Per-node application sessions: asynchronous state machines that execute
+// one Op at a time against a protocol engine stack.
+//
+//   HierSession         — the paper's protocol over the two-level hierarchy
+//                         (intent on the table, leaf mode on the entry)
+//   NaimiOrderedSession — "Naimi same work": emulates table-level access by
+//                         acquiring every entry lock in ascending order
+//                         (deadlock avoidance), entry access directly
+//   NaimiPureSession    — "Naimi pure": one global exclusive lock, the
+//                         original workload of [14]
+//
+// Sessions obey the engines' threading contract: protocol callbacks only
+// record state and schedule continuations on the Executor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/types.hpp"
+#include "core/hls_node.hpp"
+#include "lockmgr/op.hpp"
+#include "lockmgr/resource.hpp"
+#include "naimi/naimi_node.hpp"
+
+namespace hlock::lockmgr {
+
+/// Completion record for one executed Op.
+struct OpStats {
+  Op op{};
+  /// Issue time -> all locks held (critical section entered).
+  Duration acquire_latency{0};
+  /// Lock requests issued to execute the op (ours: 1 or 2; same-work: 1 or
+  /// entry_count; pure: 1).
+  std::uint32_t lock_requests{0};
+};
+
+using DoneFn = std::function<void(const OpStats&)>;
+
+/// Common surface so the workload driver can run any protocol stack.
+class Session {
+ public:
+  virtual ~Session() = default;
+  /// Begin executing `op`; `done` fires (from executor context) after all
+  /// locks have been released. One op at a time.
+  virtual void start(const Op& op, DoneFn done) = 0;
+  [[nodiscard]] virtual bool busy() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+class HierSession final : public Session {
+ public:
+  /// Takes over the node's acquisition callbacks; one session per node.
+  HierSession(core::HlsNode& node, const ResourceLayout& layout,
+              Executor& executor);
+
+  void start(const Op& op, DoneFn done) override;
+  [[nodiscard]] bool busy() const override { return phase_ != Phase::kIdle; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kWaitTable,    ///< table-level mode requested
+    kWaitEntry,    ///< intent held, entry leaf requested
+    kInCs,         ///< dwelling in the (first) critical section
+    kWaitUpgrade,  ///< U -> W upgrade in flight
+    kInCs2,        ///< write phase of an upgrade op
+  };
+
+  void on_acquired(LockId lock, RequestId id, Mode mode);
+  void on_upgraded(LockId lock, RequestId id);
+  void enter_cs();
+  void leave_cs();
+  void finish();
+
+  core::HlsNode& node_;
+  const ResourceLayout& layout_;
+  Executor& exec_;
+
+  Phase phase_{Phase::kIdle};
+  Op op_{};
+  DoneFn done_;
+  TimePoint started_{0};
+  Duration acquire_latency_{0};
+  std::uint32_t lock_requests_{0};
+  RequestId table_rid_{};
+  RequestId entry_rid_{};
+};
+
+// ---------------------------------------------------------------------------
+
+class NaimiOrderedSession final : public Session {
+ public:
+  NaimiOrderedSession(naimi::NaimiNode& node, const ResourceLayout& layout,
+                      Executor& executor);
+
+  void start(const Op& op, DoneFn done) override;
+  [[nodiscard]] bool busy() const override { return active_; }
+
+ private:
+  void on_acquired(LockId lock, RequestId id);
+  void acquire_next();
+  void enter_cs();
+  void finish();
+
+  naimi::NaimiNode& node_;
+  const ResourceLayout& layout_;
+  Executor& exec_;
+
+  bool active_{false};
+  Op op_{};
+  DoneFn done_;
+  TimePoint started_{0};
+  std::vector<LockId> plan_;                ///< locks to take, in order
+  std::vector<RequestId> held_;             ///< rids, parallel to plan_
+  std::size_t next_{0};                     ///< index into plan_
+};
+
+// ---------------------------------------------------------------------------
+
+class NaimiPureSession final : public Session {
+ public:
+  /// `global_lock` is the single system-wide lock (same id on every node).
+  NaimiPureSession(naimi::NaimiNode& node, LockId global_lock,
+                   Executor& executor);
+
+  void start(const Op& op, DoneFn done) override;
+  [[nodiscard]] bool busy() const override { return active_; }
+
+ private:
+  void on_acquired(LockId lock, RequestId id);
+
+  naimi::NaimiNode& node_;
+  LockId global_lock_;
+  Executor& exec_;
+
+  bool active_{false};
+  Op op_{};
+  DoneFn done_;
+  TimePoint started_{0};
+  RequestId rid_{};
+};
+
+}  // namespace hlock::lockmgr

@@ -1,0 +1,61 @@
+#include "lockmgr/waitgraph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace hlock::lockmgr {
+
+void WaitForGraph::add_edge(NodeId waiter, NodeId holder) {
+  if (waiter == holder) return;  // self-waits are the app's own re-entrancy
+  edges_[waiter].insert(holder);
+}
+
+void WaitForGraph::clear() { edges_.clear(); }
+
+std::size_t WaitForGraph::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [from, tos] : edges_) n += tos.size();
+  return n;
+}
+
+std::optional<std::vector<NodeId>> WaitForGraph::find_cycle() const {
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<NodeId, Color> color;
+  std::vector<NodeId> stack;
+  std::optional<std::vector<NodeId>> cycle;
+
+  std::function<bool(NodeId)> dfs = [&](NodeId u) -> bool {
+    color[u] = Color::kGray;
+    stack.push_back(u);
+    const auto it = edges_.find(u);
+    if (it != edges_.end()) {
+      for (const NodeId v : it->second) {
+        const auto cit = color.find(v);
+        const Color c = cit == color.end() ? Color::kWhite : cit->second;
+        if (c == Color::kGray) {
+          // Found a back edge: extract the cycle from the stack.
+          std::vector<NodeId> out;
+          const auto start = std::find(stack.begin(), stack.end(), v);
+          out.assign(start, stack.end());
+          out.push_back(v);
+          cycle = std::move(out);
+          return true;
+        }
+        if (c == Color::kWhite && dfs(v)) return true;
+      }
+    }
+    stack.pop_back();
+    color[u] = Color::kBlack;
+    return false;
+  };
+
+  for (const auto& [node, tos] : edges_) {
+    const auto cit = color.find(node);
+    if (cit == color.end() || cit->second == Color::kWhite) {
+      if (dfs(node)) return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace hlock::lockmgr

@@ -1,0 +1,37 @@
+// Wait-for-graph deadlock detection.
+//
+// The paper's protocol is deadlock-free for single-lock usage (Rules 4+5
+// give FIFO service) and offers U locks to avoid upgrade deadlocks [§3.4],
+// but applications composing MULTIPLE locks can still deadlock themselves
+// (e.g. two nodes taking two W locks in opposite orders). This module is
+// the diagnostic substrate: a wait-for graph with incremental cycle
+// detection, fed by the harness observer (DeadlockMonitor) from global
+// simulation state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hlock::lockmgr {
+
+/// Directed graph "A waits for B"; detects cycles by DFS.
+class WaitForGraph {
+ public:
+  void add_edge(NodeId waiter, NodeId holder);
+  void clear();
+
+  [[nodiscard]] std::size_t edge_count() const;
+
+  /// Returns a cycle as a node sequence (first == last) if one exists.
+  [[nodiscard]] std::optional<std::vector<NodeId>> find_cycle() const;
+
+ private:
+  std::map<NodeId, std::set<NodeId>> edges_;
+};
+
+}  // namespace hlock::lockmgr

@@ -1,0 +1,30 @@
+#include "naimi/naimi_node.hpp"
+
+#include <stdexcept>
+
+namespace hlock::naimi {
+
+NaimiNode::NaimiNode(NodeId self, Transport& transport)
+    : self_(self), transport_(transport) {}
+
+NaimiEngine& NaimiNode::add_lock(LockId lock, NodeId initial_holder) {
+  NaimiCallbacks cbs;
+  cbs.on_acquired = [this, lock](RequestId id) {
+    if (on_acquired_) on_acquired_(lock, id);
+  };
+  auto engine = std::make_unique<NaimiEngine>(lock, self_, initial_holder,
+                                              transport_, std::move(cbs));
+  auto [it, inserted] = engines_.emplace(lock, std::move(engine));
+  if (!inserted) throw std::logic_error("lock added twice");
+  return *it->second;
+}
+
+NaimiEngine& NaimiNode::engine(LockId lock) {
+  const auto it = engines_.find(lock);
+  if (it == engines_.end()) throw std::logic_error("unknown lock");
+  return *it->second;
+}
+
+void NaimiNode::handle(const Message& m) { engine(m.lock).handle(m); }
+
+}  // namespace hlock::naimi

@@ -1,0 +1,35 @@
+// NaimiNode — per-participant multiplexer over one NaimiEngine per lock,
+// mirroring core::HlsNode for the baseline protocol.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/types.hpp"
+#include "msg/message.hpp"
+#include "naimi/naimi_engine.hpp"
+
+namespace hlock::naimi {
+
+class NaimiNode {
+ public:
+  using AcquiredFn = std::function<void(LockId, RequestId)>;
+
+  NaimiNode(NodeId self, Transport& transport);
+
+  NaimiEngine& add_lock(LockId lock, NodeId initial_holder);
+  [[nodiscard]] NaimiEngine& engine(LockId lock);
+  void handle(const Message& m);
+
+  void set_on_acquired(AcquiredFn fn) { on_acquired_ = std::move(fn); }
+  [[nodiscard]] NodeId self() const { return self_; }
+
+ private:
+  NodeId self_;
+  Transport& transport_;
+  AcquiredFn on_acquired_;
+  std::map<LockId, std::unique_ptr<NaimiEngine>> engines_;
+};
+
+}  // namespace hlock::naimi

@@ -1,0 +1,40 @@
+#include "net/cluster.hpp"
+
+#include <map>
+
+namespace hlock::net {
+
+InProcessCluster::InProcessCluster(std::size_t nodes) {
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<TcpNode>(NodeId{static_cast<std::uint32_t>(i)}));
+  }
+  std::map<NodeId, PeerAddress> book;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    book[NodeId{static_cast<std::uint32_t>(i)}] =
+        PeerAddress{"127.0.0.1", nodes_[i]->listen_port()};
+  }
+  for (auto& node : nodes_) {
+    std::map<NodeId, PeerAddress> peers = book;
+    peers.erase(node->self());
+    node->set_peers(std::move(peers));
+  }
+  threads_.reserve(nodes);
+  for (auto& node : nodes_) {
+    threads_.emplace_back([n = node.get()] { n->loop().run(); });
+  }
+}
+
+void InProcessCluster::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& node : nodes_) node->loop().stop();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+InProcessCluster::~InProcessCluster() { stop(); }
+
+}  // namespace hlock::net

@@ -1,0 +1,35 @@
+// InProcessCluster — N TcpNodes on loopback, each with its own event-loop
+// thread, full peer mesh. The multi-node harness for integration tests and
+// the real-socket examples.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_node.hpp"
+
+namespace hlock::net {
+
+class InProcessCluster {
+ public:
+  explicit InProcessCluster(std::size_t nodes);
+  ~InProcessCluster();
+  InProcessCluster(const InProcessCluster&) = delete;
+  InProcessCluster& operator=(const InProcessCluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] TcpNode& node(std::size_t i) { return *nodes_[i]; }
+
+  /// Stop every loop and join the threads (idempotent; the destructor
+  /// calls it too).
+  void stop();
+
+ private:
+  std::vector<std::unique_ptr<TcpNode>> nodes_;
+  std::vector<std::thread> threads_;
+  bool stopped_{false};
+};
+
+}  // namespace hlock::net

@@ -1,0 +1,126 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace hlock::net {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {
+  if (::pipe(wake_fds_) != 0)
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  for (const int fd : wake_fds_) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+}
+
+void EventLoop::watch(int fd, short events, IoFn fn) {
+  watches_[fd] = {events, std::move(fn)};
+}
+
+void EventLoop::unwatch(int fd) { watches_.erase(fd); }
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    const std::lock_guard<std::mutex> guard(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+}
+
+void EventLoop::schedule(Duration delay, std::function<void()> fn) {
+  timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
+}
+
+TimePoint EventLoop::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLoop::drain_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    const std::lock_guard<std::mutex> guard(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+void EventLoop::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().due <= now()) {
+    auto fn = timers_.top().fn;
+    timers_.pop();
+    fn();
+  }
+}
+
+int EventLoop::next_timeout_ms() const {
+  if (timers_.empty()) return 500;
+  const Duration us = timers_.top().due - now();
+  if (us <= 0) return 0;
+  const Duration ms = us / 1000 + 1;
+  return ms > 500 ? 500 : static_cast<int>(ms);
+}
+
+bool EventLoop::on_loop_thread() const {
+  return running_.load() && loop_thread_.load() == std::this_thread::get_id();
+}
+
+void EventLoop::run() {
+  loop_thread_.store(std::this_thread::get_id());
+  running_.store(true);
+  while (!stop_requested_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    std::vector<int> order;
+    for (const auto& [fd, w] : watches_) {
+      fds.push_back({fd, w.first, 0});
+      order.push_back(fd);
+    }
+    const int rc = ::poll(fds.data(), fds.size(), next_timeout_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "poll");
+    }
+    if (fds[0].revents & POLLIN) {
+      char sink[256];
+      while (::read(wake_fds_[0], sink, sizeof sink) > 0) {
+      }
+    }
+    drain_posted();
+    fire_due_timers();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const short revents = fds[i + 1].revents;
+      if (revents == 0) continue;
+      // The callback may unwatch/close fds; re-check registration.
+      const auto it = watches_.find(order[i]);
+      if (it == watches_.end()) continue;
+      auto fn = it->second.second;
+      fn(static_cast<std::uint32_t>(revents));
+    }
+  }
+  drain_posted();
+  running_.store(false);
+  stop_requested_.store(false);
+}
+
+void EventLoop::stop() {
+  stop_requested_.store(true);
+  const char byte = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fds_[1], &byte, 1);
+}
+
+}  // namespace hlock::net

@@ -1,0 +1,80 @@
+// Poll-based single-threaded event loop with timers and cross-thread task
+// posting. One loop runs per TCP node; the protocol engine and all socket
+// I/O for that node live on the loop thread, which keeps the engines'
+// single-threaded contract without any locking inside the protocol.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/types.hpp"
+
+namespace hlock::net {
+
+class EventLoop final : public Executor {
+ public:
+  using IoFn = std::function<void(std::uint32_t revents)>;
+
+  EventLoop();
+  ~EventLoop() override;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch `fd` for the given poll events (POLLIN etc.); `fn` runs on the
+  /// loop thread when any fire. Replaces an existing watch for `fd`.
+  void watch(int fd, short events, IoFn fn);
+  void unwatch(int fd);
+
+  /// Run `fn` on the loop thread as soon as possible. Thread-safe.
+  void post(std::function<void()> fn);
+
+  // Executor: timers on the loop thread. schedule() is loop-thread-only;
+  // cross-thread callers use post() and schedule from inside.
+  void schedule(Duration delay, std::function<void()> fn) override;
+  [[nodiscard]] TimePoint now() const override;
+
+  /// Process events until stop() is called.
+  void run();
+  /// Request the loop to exit. Thread-safe.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(); }
+  /// True when called from the thread currently executing run().
+  [[nodiscard]] bool on_loop_thread() const;
+
+ private:
+  void drain_posted();
+  void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  struct Timer {
+    TimePoint due;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Timer& o) const {
+      if (due != o.due) return due > o.due;
+      return seq > o.seq;
+    }
+  };
+
+  int wake_fds_[2];  ///< self-pipe for post()/stop() wakeups
+  std::map<int, std::pair<short, IoFn>> watches_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::uint64_t timer_seq_{0};
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::thread::id> loop_thread_{};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace hlock::net

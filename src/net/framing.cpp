@@ -1,0 +1,47 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+namespace hlock::net {
+
+std::vector<std::uint8_t> frame(const Message& m) {
+  const std::vector<std::uint8_t> payload = encode(m);
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 4);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+void FrameDecoder::compact() {
+  // Reclaim consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+bool FrameDecoder::next(Message& out) {
+  if (buffered() < 4) return false;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                            (static_cast<std::uint32_t>(p[1]) << 8) |
+                            (static_cast<std::uint32_t>(p[2]) << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+  if (len > kMaxFrameBytes) throw DecodeError("oversized frame");
+  if (buffered() < 4 + static_cast<std::size_t>(len)) return false;
+  out = decode(p + 4, len);
+  pos_ += 4 + len;
+  compact();
+  return true;
+}
+
+}  // namespace hlock::net

@@ -1,0 +1,40 @@
+// Stream framing for the TCP transport: each frame is a 4-byte little-
+// endian payload length followed by an encode()d Message. The decoder is
+// incremental — feed it whatever recv() returned and collect complete
+// frames.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "msg/message.hpp"
+
+namespace hlock::net {
+
+/// Hard cap on a single frame; a TOKEN message carrying a full queue for
+/// hundreds of nodes stays far below this.
+inline constexpr std::uint32_t kMaxFrameBytes = 16 * 1024 * 1024;
+
+/// Serialize one message into a ready-to-send frame.
+std::vector<std::uint8_t> frame(const Message& m);
+
+/// Incremental frame decoder (one per connection).
+class FrameDecoder {
+ public:
+  /// Append raw bytes from the stream.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Extract the next complete message, if any. Throws DecodeError on a
+  /// malformed frame (oversized length or bad payload).
+  bool next(Message& out);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace hlock::net

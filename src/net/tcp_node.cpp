@@ -1,0 +1,275 @@
+#include "net/tcp_node.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/logging.hpp"
+
+namespace hlock::net {
+
+namespace {
+
+/// Hello frames carry this reserved lock id; they never reach the engine.
+constexpr std::uint32_t kHelloLockValue = 0xFFFFFFFE;
+
+void set_nonblocking(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+[[noreturn]] void sys_fail(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+TcpNode::TcpNode(NodeId self, std::uint16_t port)
+    : self_(self), transport_(*this) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) sys_fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    sys_fail("bind");
+  if (::listen(listen_fd_, 128) != 0) sys_fail("listen");
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  loop_.watch(listen_fd_, POLLIN, [this](std::uint32_t) { on_listen_ready(); });
+}
+
+TcpNode::~TcpNode() {
+  for (auto& [fd, c] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpNode::set_peers(std::map<NodeId, PeerAddress> peers) {
+  loop_.post([this, peers = std::move(peers)]() mutable {
+    peers_ = std::move(peers);
+    // Deterministic mesh: the higher id dials the lower, so each pair has
+    // exactly one connection and per-pair FIFO ordering holds.
+    for (const auto& [peer, address] : peers_) {
+      if (peer < self_ && peer_fd_.find(peer) == peer_fd_.end()) dial(peer);
+    }
+  });
+}
+
+void TcpNode::set_handler(std::function<void(const Message&)> fn) {
+  if (loop_.on_loop_thread() || !loop_.running()) {
+    // Safe to assign directly: either we ARE the loop thread (no delivery
+    // can be concurrent with us) or nothing is being delivered at all.
+    handler_ = std::move(fn);
+    return;
+  }
+  loop_.post([this, fn = std::move(fn)]() mutable {
+    handler_ = std::move(fn);
+  });
+}
+
+void TcpNode::on_listen_ready() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      sys_fail("accept");
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conns_.emplace(fd, std::move(conn));
+    send_hello(*raw);
+    loop_.watch(fd, POLLIN,
+                [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
+  }
+}
+
+void TcpNode::dial(NodeId peer) {
+  const auto it = peers_.find(peer);
+  if (it == peers_.end()) throw std::logic_error("dial: unknown peer");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second.port);
+  if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::invalid_argument("bad peer host");
+  }
+  // Loopback connects complete immediately in practice; a blocking connect
+  // on the loop thread keeps the harness simple.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    sys_fail("connect");
+  }
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->peer = peer;
+  Connection* raw = conn.get();
+  conns_.emplace(fd, std::move(conn));
+  peer_fd_[peer] = fd;
+  send_hello(*raw);
+  loop_.watch(fd, POLLIN,
+              [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
+  // Flush anything queued while unconnected.
+  const auto pending = pending_out_.find(peer);
+  if (pending != pending_out_.end()) {
+    for (const Message& m : pending->second) queue_frame(*raw, frame(m));
+    pending_out_.erase(pending);
+    flush(*raw);
+  }
+}
+
+void TcpNode::send_hello(Connection& c) {
+  Message hello;
+  hello.kind = MsgKind::kRequest;
+  hello.lock = LockId{kHelloLockValue};
+  hello.from = self_;
+  hello.req.requester = self_;
+  queue_frame(c, frame(hello));
+  c.hello_sent = true;
+  flush(c);
+}
+
+void TcpNode::send(NodeId to, const Message& m) {
+  Message copy = m;
+  copy.from = self_;
+  loop_.post([this, to, msg = std::move(copy)] {
+    Connection* c = conn_for_peer(to);
+    if (c == nullptr) {
+      if (to < self_ && peers_.count(to) != 0) {
+        dial(to);
+        c = conn_for_peer(to);
+      } else {
+        // The lower id waits for the peer's dial; queue until the hello.
+        pending_out_[to].push_back(msg);
+        return;
+      }
+    }
+    queue_frame(*c, frame(msg));
+    flush(*c);
+  });
+}
+
+TcpNode::Connection* TcpNode::conn_for_peer(NodeId peer) {
+  const auto it = peer_fd_.find(peer);
+  if (it == peer_fd_.end()) return nullptr;
+  const auto cit = conns_.find(it->second);
+  return cit == conns_.end() ? nullptr : cit->second.get();
+}
+
+void TcpNode::queue_frame(Connection& c, std::vector<std::uint8_t> bytes) {
+  c.outbox.insert(c.outbox.end(), bytes.begin(), bytes.end());
+}
+
+void TcpNode::flush(Connection& c) {
+  while (!c.outbox.empty()) {
+    // Coalesce the deque front into one contiguous chunk.
+    std::vector<std::uint8_t> chunk(c.outbox.begin(),
+                                    c.outbox.begin() +
+                                        static_cast<std::ptrdiff_t>(std::min(
+                                            c.outbox.size(), std::size_t{65536})));
+    const ssize_t n = ::send(c.fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c.outbox.erase(c.outbox.begin(), c.outbox.begin() + n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Wait for writability.
+      const int fd = c.fd;
+      loop_.watch(fd, POLLIN | POLLOUT, [this, fd](std::uint32_t revents) {
+        on_conn_event(fd, revents);
+      });
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(c.fd);
+    return;
+  }
+  // Outbox drained: stop watching POLLOUT.
+  const int fd = c.fd;
+  loop_.watch(fd, POLLIN,
+              [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
+}
+
+void TcpNode::on_conn_event(int fd, std::uint32_t revents) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+
+  if (revents & (POLLERR | POLLHUP)) {
+    // Drain whatever is readable, then close.
+    revents |= POLLIN;
+  }
+  if (revents & POLLIN) {
+    std::uint8_t buf[65536];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        c.decoder.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    Message m;
+    while (c.decoder.next(m)) handle_frame(c, m);
+  }
+  if (revents & POLLOUT) flush(c);
+}
+
+void TcpNode::handle_frame(Connection& c, const Message& m) {
+  if (m.lock.value == kHelloLockValue) {
+    c.peer = m.req.requester;
+    peer_fd_[c.peer] = c.fd;
+    const auto pending = pending_out_.find(c.peer);
+    if (pending != pending_out_.end()) {
+      for (const Message& out : pending->second) queue_frame(c, frame(out));
+      pending_out_.erase(pending);
+      flush(c);
+    }
+    return;
+  }
+  ++delivered_;
+  if (handler_) handler_(m);
+}
+
+void TcpNode::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second->peer.valid()) {
+    const auto pit = peer_fd_.find(it->second->peer);
+    if (pit != peer_fd_.end() && pit->second == fd) peer_fd_.erase(pit);
+  }
+  loop_.unwatch(fd);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+}  // namespace hlock::net

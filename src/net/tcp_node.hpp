@@ -1,0 +1,101 @@
+// TcpNode — one protocol participant over real TCP sockets.
+//
+// Owns an EventLoop (run on a dedicated thread by the caller or
+// InProcessCluster), a listening socket, and one connection per peer.
+// Peers greet with a one-frame hello carrying their NodeId, so either side
+// may dial. The Transport facade is thread-safe: send() posts onto the
+// loop thread, which owns all sockets and the engine.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "msg/message.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+
+namespace hlock::net {
+
+struct PeerAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port{0};
+};
+
+class TcpNode {
+ public:
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral; see listen_port()).
+  TcpNode(NodeId self, std::uint16_t port = 0);
+  ~TcpNode();
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
+  [[nodiscard]] EventLoop& loop() { return loop_; }
+
+  /// Provide the address book. Only peers with id < self() are dialed
+  /// (the higher id accepts), which yields exactly one connection per
+  /// pair. Call from any thread before or after the loop starts.
+  void set_peers(std::map<NodeId, PeerAddress> peers);
+
+  /// Handler invoked on the loop thread for every received message.
+  void set_handler(std::function<void(const Message&)> fn);
+
+  /// Thread-safe Transport: enqueue a message to a peer.
+  class NodeTransport final : public Transport {
+   public:
+    explicit NodeTransport(TcpNode& node) : node_(node) {}
+    void send(NodeId to, const Message& m) override { node_.send(to, m); }
+
+   private:
+    TcpNode& node_;
+  };
+  [[nodiscard]] Transport& transport() { return transport_; }
+
+  /// Enqueue `m` for delivery to `to` (connects lazily if needed).
+  void send(NodeId to, const Message& m);
+
+  /// Messages delivered so far (loop thread increments; approximate from
+  /// other threads).
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  struct Connection {
+    int fd{-1};
+    NodeId peer{};           ///< invalid until hello received (inbound)
+    FrameDecoder decoder;
+    std::deque<std::uint8_t> outbox;
+    bool hello_sent{false};
+  };
+
+  void on_listen_ready();
+  void on_conn_event(int fd, std::uint32_t revents);
+  void flush(Connection& c);
+  void close_conn(int fd);
+  Connection* conn_for_peer(NodeId peer);
+  void dial(NodeId peer);
+  void queue_frame(Connection& c, std::vector<std::uint8_t> bytes);
+  void send_hello(Connection& c);
+  void handle_frame(Connection& c, const Message& m);
+
+  const NodeId self_;
+  EventLoop loop_;
+  NodeTransport transport_;
+  int listen_fd_{-1};
+  std::uint16_t listen_port_{0};
+  std::map<NodeId, PeerAddress> peers_;
+  std::map<int, std::unique_ptr<Connection>> conns_;  ///< by fd
+  std::map<NodeId, int> peer_fd_;
+  /// Messages for peers whose connection is still being established.
+  std::map<NodeId, std::vector<Message>> pending_out_;
+  std::function<void(const Message&)> handler_;
+  std::uint64_t delivered_{0};
+};
+
+}  // namespace hlock::net

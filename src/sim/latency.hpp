@@ -1,0 +1,66 @@
+// Point-to-point message latency models for the simulated network.
+//
+// The paper randomizes network latency around a 150 ms mean (FastEther LAN
+// plus injected delay); the exact distribution is unspecified, so the model
+// is pluggable. The default is uniform over [mean/2, 3*mean/2], which has
+// the stated mean and keeps latencies strictly positive.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hlock::sim {
+
+/// Samples one message's in-flight time.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  virtual Duration sample(Rng& rng) = 0;
+  /// The distribution mean; the harness normalizes latencies by this to
+  /// report the paper's "latency factor".
+  [[nodiscard]] virtual Duration mean() const = 0;
+};
+
+/// Every message takes exactly `mean`.
+class ConstantLatency final : public LatencyModel {
+ public:
+  explicit ConstantLatency(Duration m) : mean_(m) {}
+  Duration sample(Rng&) override { return mean_; }
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+};
+
+/// Uniform over [mean/2, 3*mean/2].
+class UniformLatency final : public LatencyModel {
+ public:
+  explicit UniformLatency(Duration m) : mean_(m) {}
+  Duration sample(Rng& rng) override {
+    return rng.uniform(mean_ / 2, mean_ + mean_ / 2);
+  }
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+};
+
+/// Shifted exponential: min + Exp(mean - min); heavier tail than uniform.
+class ExponentialLatency final : public LatencyModel {
+ public:
+  ExponentialLatency(Duration m, Duration min_latency)
+      : mean_(m), min_(min_latency) {}
+  Duration sample(Rng& rng) override {
+    const double extra = rng.exponential(static_cast<double>(mean_ - min_));
+    return min_ + static_cast<Duration>(extra);
+  }
+  [[nodiscard]] Duration mean() const override { return mean_; }
+
+ private:
+  Duration mean_;
+  Duration min_;
+};
+
+}  // namespace hlock::sim

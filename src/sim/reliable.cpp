@@ -1,0 +1,94 @@
+#include "sim/reliable.hpp"
+
+namespace hlock::sim {
+
+ReliableTransport::ReliableTransport(NodeId self, Transport& lower,
+                                     Executor& timers,
+                                     Duration retransmit_timeout)
+    : self_(self), lower_(lower), timers_(timers), rto_(retransmit_timeout) {}
+
+void ReliableTransport::set_deliver(
+    std::function<void(const Message&)> deliver) {
+  deliver_ = std::move(deliver);
+}
+
+void ReliableTransport::send(NodeId to, const Message& m) {
+  PeerState& peer = peers_[to];
+  Message sequenced = m;
+  sequenced.rel_seq = peer.next_out++;
+  peer.unacked.emplace(sequenced.rel_seq, sequenced);
+  lower_.send(to, sequenced);
+  arm_retransmit(to, sequenced.rel_seq);
+}
+
+void ReliableTransport::arm_retransmit(NodeId to, std::uint64_t seq) {
+  timers_.schedule(rto_, [this, to, seq] {
+    const auto pit = peers_.find(to);
+    if (pit == peers_.end()) return;
+    const auto mit = pit->second.unacked.find(seq);
+    if (mit == pit->second.unacked.end()) return;  // acked meanwhile
+    ++retx_;
+    lower_.send(to, mit->second);
+    arm_retransmit(to, seq);
+  });
+}
+
+void ReliableTransport::send_ack(NodeId to, std::uint64_t seq) {
+  Message ack;
+  ack.kind = MsgKind::kAck;
+  ack.from = self_;
+  ack.rel_seq = seq;
+  lower_.send(to, ack);
+}
+
+void ReliableTransport::on_receive(const Message& m) {
+  PeerState& peer = peers_[m.from];
+
+  if (m.kind == MsgKind::kAck) {
+    peer.unacked.erase(m.rel_seq);
+    return;
+  }
+  if (m.rel_seq == 0) {
+    // Unsequenced traffic (peer not running the sublayer): pass through.
+    if (deliver_) deliver_(m);
+    return;
+  }
+
+  if (m.rel_seq < peer.expected_in) {
+    // Duplicate of something already delivered — its ack was lost.
+    ++dups_;
+    send_ack(m.from, m.rel_seq);
+    return;
+  }
+  if (m.rel_seq > peer.expected_in) {
+    // Future message: buffer until the gap closes, ack immediately so the
+    // sender stops retransmitting it.
+    if (peer.reorder.emplace(m.rel_seq, m).second) {
+      ++ooo_;
+    } else {
+      ++dups_;
+    }
+    send_ack(m.from, m.rel_seq);
+    return;
+  }
+
+  // In-order: ack, deliver, then drain any buffered successors.
+  send_ack(m.from, m.rel_seq);
+  ++peer.expected_in;
+  if (deliver_) deliver_(m);
+  auto it = peer.reorder.begin();
+  while (it != peer.reorder.end() && it->first == peer.expected_in) {
+    const Message next = it->second;
+    it = peer.reorder.erase(it);
+    ++peer.expected_in;
+    if (deliver_) deliver_(next);
+  }
+}
+
+std::size_t ReliableTransport::unacked() const {
+  std::size_t n = 0;
+  for (const auto& [peer, state] : peers_) n += state.unacked.size();
+  return n;
+}
+
+}  // namespace hlock::sim

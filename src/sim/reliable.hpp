@@ -1,0 +1,71 @@
+// Reliability sublayer for lossy networks.
+//
+// The protocol engines assume reliable per-channel FIFO delivery (the
+// paper's testbed ran over TCP). To study the protocol over a lossy
+// datagram substrate, ReliableTransport decorates a Transport with:
+//   * per-(peer) sequence numbers on every outgoing message,
+//   * positive acks (MsgKind::kAck) and timer-driven retransmission,
+//   * duplicate suppression and in-order delivery at the receiver
+//     (out-of-order arrivals are buffered until the gap closes), which
+//     restores exactly the FIFO-channel property the engines rely on.
+//
+// Under the real TCP transport (src/net) this layer is unnecessary — the
+// kernel provides the same guarantees.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/executor.hpp"
+#include "common/types.hpp"
+#include "msg/message.hpp"
+
+namespace hlock::sim {
+
+class ReliableTransport final : public Transport {
+ public:
+  /// `lower` is the raw (lossy) transport; `timers` drives retransmission.
+  ReliableTransport(NodeId self, Transport& lower, Executor& timers,
+                    Duration retransmit_timeout = msec(400));
+
+  /// Upward delivery path (after dedup/reordering).
+  void set_deliver(std::function<void(const Message&)> deliver);
+
+  /// Outgoing path: stamps a fresh sequence number and records the message
+  /// for retransmission until acked.
+  void send(NodeId to, const Message& m) override;
+
+  /// Feed every raw message received from `lower`'s network here.
+  void on_receive(const Message& m);
+
+  // ---- stats ----
+  [[nodiscard]] std::uint64_t retransmissions() const { return retx_; }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const { return dups_; }
+  [[nodiscard]] std::uint64_t buffered_out_of_order() const { return ooo_; }
+  /// Messages still awaiting an ack (0 at quiescence).
+  [[nodiscard]] std::size_t unacked() const;
+
+ private:
+  struct PeerState {
+    std::uint64_t next_out{1};                 ///< next seq to assign
+    std::map<std::uint64_t, Message> unacked;  ///< sent, not yet acked
+    std::uint64_t expected_in{1};              ///< next seq to deliver
+    std::map<std::uint64_t, Message> reorder;  ///< future seqs buffered
+  };
+
+  void arm_retransmit(NodeId to, std::uint64_t seq);
+  void send_ack(NodeId to, std::uint64_t seq);
+
+  NodeId self_;
+  Transport& lower_;
+  Executor& timers_;
+  Duration rto_;
+  std::function<void(const Message&)> deliver_;
+  std::map<NodeId, PeerState> peers_;
+  std::uint64_t retx_{0};
+  std::uint64_t dups_{0};
+  std::uint64_t ooo_{0};
+};
+
+}  // namespace hlock::sim

@@ -1,0 +1,59 @@
+#include "sim/simnet.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hlock::sim {
+
+SimNetwork::SimNetwork(Simulator& simulator,
+                       std::unique_ptr<LatencyModel> latency, Rng rng)
+    : sim_(simulator), latency_(std::move(latency)), rng_(rng) {
+  if (!latency_) throw std::invalid_argument("latency model required");
+}
+
+void SimNetwork::register_node(NodeId node,
+                               std::function<void(const Message&)> handler) {
+  if (!handlers_.emplace(node, std::move(handler)).second)
+    throw std::logic_error("node registered twice");
+}
+
+void SimNetwork::set_lossy(double rate) {
+  if (rate < 0.0 || rate >= 1.0)
+    throw std::invalid_argument("loss rate must be in [0, 1)");
+  loss_rate_ = rate;
+  fifo_channels_ = rate == 0.0;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, const Message& m) {
+  if (handlers_.find(to) == handlers_.end())
+    throw std::logic_error("send to unregistered node");
+  counts_.inc(to_string(m.kind));
+  ++sent_;
+  bytes_ += encode(m).size() + 4;  // payload + the TCP framing prefix
+
+  const bool dropped =
+      loss_rate_ > 0.0 && rng_.next_double() < loss_rate_;
+  if (on_send) on_send(from, to, m, dropped);
+  if (dropped) {
+    ++dropped_;
+    return;
+  }
+
+  TimePoint arrive = sim_.now() + latency_->sample(rng_);
+  if (fifo_channels_) {
+    // Per-channel FIFO: a message may not overtake an earlier one on the
+    // same (from, to) pair.
+    auto& clear_at = channel_clear_[{from, to}];
+    if (arrive < clear_at) arrive = clear_at;
+    clear_at = arrive;
+  }
+
+  Message copy = m;
+  copy.from = from;
+  sim_.schedule_at(arrive, [this, from, to, msg = std::move(copy)]() {
+    if (on_deliver) on_deliver(from, to, msg);
+    handlers_.at(to)(msg);
+  });
+}
+
+}  // namespace hlock::sim

@@ -1,0 +1,39 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hlock::sim {
+
+void Simulator::schedule_at(TimePoint t, EventFn fn) {
+  if (t < now_) throw std::logic_error("scheduling into the past");
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small struct members and pop before running.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  now_ = ev.t;
+  ++processed_;
+  ev.fn();
+  if (post_event_hook) post_event_hook();
+  return true;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!heap_.empty() && heap_.top().t <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n > max_events)
+      throw std::runtime_error("simulator event cap exceeded (livelock?)");
+  }
+}
+
+}  // namespace hlock::sim

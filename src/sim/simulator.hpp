@@ -1,0 +1,64 @@
+// Deterministic discrete-event simulator core.
+//
+// Substitute for the paper's physical cluster (see DESIGN.md §3): both
+// protocols are pure message-passing state machines, so running them over
+// a virtual-time event queue reproduces the reported metrics (messages per
+// request, latency as a factor of point-to-point latency) while letting a
+// single machine model 120 nodes deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hlock::sim {
+
+/// Virtual-time event loop. Events at equal timestamps run in insertion
+/// order, which makes every run bit-reproducible from the workload seed.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Schedule `fn` at absolute virtual time `t` (>= now()).
+  void schedule_at(TimePoint t, EventFn fn);
+  /// Schedule `fn` `d` after the current virtual time.
+  void schedule_after(Duration d, EventFn fn) { schedule_at(now_ + d, std::move(fn)); }
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Run the single earliest event. Returns false if none remain.
+  bool step();
+  /// Run until the queue drains or virtual time would pass `deadline`.
+  void run_until(TimePoint deadline);
+  /// Run until the queue drains (or the event cap trips, which indicates a
+  /// livelock bug and throws).
+  void run_all(std::uint64_t max_events = 500'000'000);
+
+  /// Invoked after every event; the invariant probes in tests hang here.
+  std::function<void()> post_event_hook;
+
+ private:
+  struct Event {
+    TimePoint t;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimePoint now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t processed_{0};
+};
+
+}  // namespace hlock::sim

@@ -1,0 +1,78 @@
+#include "workload/airline.hpp"
+
+namespace hlock::workload {
+
+FareTable::FareTable(std::uint32_t entries, std::uint64_t seed) {
+  if (entries == 0) throw std::invalid_argument("need >= 1 entry");
+  Rng rng(seed);
+  rows_.reserve(entries);
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    Row r;
+    r.price_cents = rng.uniform(5'000, 150'000);  // $50 .. $1500
+    r.seats = static_cast<std::uint32_t>(rng.uniform(50, 300));
+    rows_.push_back(r);
+  }
+}
+
+FareTable::Row& FareTable::row(std::uint32_t entry) {
+  if (entry >= rows_.size()) throw std::out_of_range("entry index");
+  return rows_[entry];
+}
+
+const FareTable::Row& FareTable::row(std::uint32_t entry) const {
+  if (entry >= rows_.size()) throw std::out_of_range("entry index");
+  return rows_[entry];
+}
+
+void FareTable::begin_read(std::uint32_t entry) {
+  Row& r = row(entry);
+  if (r.writers > 0) ++violations_;
+  ++r.readers;
+}
+
+void FareTable::end_read(std::uint32_t entry) {
+  Row& r = row(entry);
+  if (r.readers == 0) throw std::logic_error("unbalanced end_read");
+  --r.readers;
+}
+
+void FareTable::begin_write(std::uint32_t entry) {
+  Row& r = row(entry);
+  if (r.writers > 0 || r.readers > 0) ++violations_;
+  ++r.writers;
+}
+
+void FareTable::end_write(std::uint32_t entry) {
+  Row& r = row(entry);
+  if (r.writers == 0) throw std::logic_error("unbalanced end_write");
+  --r.writers;
+}
+
+std::int64_t FareTable::price(std::uint32_t entry) const {
+  return row(entry).price_cents;
+}
+
+void FareTable::set_price(std::uint32_t entry, std::int64_t cents) {
+  row(entry).price_cents = cents;
+}
+
+std::uint32_t FareTable::seats(std::uint32_t entry) const {
+  return row(entry).seats;
+}
+
+bool FareTable::book_seat(std::uint32_t entry) {
+  Row& r = row(entry);
+  if (r.seats == 0) return false;
+  --r.seats;
+  return true;
+}
+
+void FareTable::release_seat(std::uint32_t entry) { ++row(entry).seats; }
+
+std::uint64_t FareTable::total_seats() const {
+  std::uint64_t n = 0;
+  for (const Row& r : rows_) n += r.seats;
+  return n;
+}
+
+}  // namespace hlock::workload

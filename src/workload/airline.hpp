@@ -1,0 +1,65 @@
+// Multi-airline reservation table — the paper's application (§4).
+//
+// One row per airline fare class: a price and a seat count. Rows are
+// partitioned by home node (airline). The data structure itself is not
+// thread-safe: correctness comes from the locking protocol above it, and
+// the access guards let tests assert the lock discipline was respected
+// (every access must be bracketed by the matching begin/end call, which
+// records overlap violations).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace hlock::workload {
+
+class FareTable {
+ public:
+  FareTable(std::uint32_t entries, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t entries() const {
+    return static_cast<std::uint32_t>(rows_.size());
+  }
+
+  // --- guarded access (simulation-time, single OS thread) ---
+  // Readers/writers declare their access spans; overlapping writer spans,
+  // or a writer overlapping readers, increment `violations()` — which a
+  // correct locking protocol must keep at zero.
+  void begin_read(std::uint32_t entry);
+  void end_read(std::uint32_t entry);
+  void begin_write(std::uint32_t entry);
+  void end_write(std::uint32_t entry);
+
+  // --- data ---
+  [[nodiscard]] std::int64_t price(std::uint32_t entry) const;
+  void set_price(std::uint32_t entry, std::int64_t cents);
+  [[nodiscard]] std::uint32_t seats(std::uint32_t entry) const;
+  /// Books one seat; returns false when sold out.
+  bool book_seat(std::uint32_t entry);
+  void release_seat(std::uint32_t entry);
+
+  /// Total seats across all rows (conserved by book/release pairs).
+  [[nodiscard]] std::uint64_t total_seats() const;
+  /// Lock-discipline violations observed by the access guards.
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  struct Row {
+    std::int64_t price_cents;
+    std::uint32_t seats;
+    std::uint32_t readers{0};
+    std::uint32_t writers{0};
+  };
+  Row& row(std::uint32_t entry);
+  const Row& row(std::uint32_t entry) const;
+
+  std::vector<Row> rows_;
+  std::uint64_t violations_{0};
+};
+
+}  // namespace hlock::workload

@@ -1,0 +1,60 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+
+namespace hlock::workload {
+
+OpGenerator::OpGenerator(const WorkloadSpec& spec, std::uint32_t node_index,
+                         std::uint32_t nodes, Rng rng)
+    : spec_(spec),
+      node_index_(node_index),
+      entry_count_(nodes * spec.entries_per_node),
+      rng_(rng) {
+  spec.validate();
+}
+
+std::uint32_t OpGenerator::pick_entry() {
+  if (rng_.next_double() < spec_.home_bias) {
+    // One of this node's own rows.
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(rng_.next_below(spec_.entries_per_node));
+    return node_index_ * spec_.entries_per_node + offset;
+  }
+  return static_cast<std::uint32_t>(rng_.next_below(entry_count_));
+}
+
+lockmgr::Op OpGenerator::next() {
+  lockmgr::Op op;
+  const double r = rng_.next_double();
+  double acc = spec_.p_entry_read;
+  if (r < acc) {
+    op.kind = lockmgr::OpKind::kEntryRead;
+  } else if (r < (acc += spec_.p_table_read)) {
+    op.kind = lockmgr::OpKind::kTableRead;
+  } else if (r < (acc += spec_.p_upgrade)) {
+    op.kind = lockmgr::OpKind::kTableUpgrade;
+  } else if (r < (acc += spec_.p_entry_write)) {
+    op.kind = lockmgr::OpKind::kEntryWrite;
+  } else {
+    op.kind = lockmgr::OpKind::kTableWrite;
+  }
+  if (op.kind == lockmgr::OpKind::kEntryRead ||
+      op.kind == lockmgr::OpKind::kEntryWrite) {
+    op.entry = pick_entry();
+  }
+  // Exponential dwell, clamped away from zero so a CS is never free.
+  op.cs = std::max<Duration>(
+      usec(100),
+      static_cast<Duration>(
+          rng_.exponential(static_cast<double>(spec_.cs_mean))));
+  return op;
+}
+
+Duration OpGenerator::next_idle() {
+  return std::max<Duration>(
+      usec(100),
+      static_cast<Duration>(
+          rng_.exponential(static_cast<double>(spec_.idle_mean))));
+}
+
+}  // namespace hlock::workload

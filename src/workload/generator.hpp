@@ -1,0 +1,36 @@
+// Per-node operation stream drawing from the WorkloadSpec distributions.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "lockmgr/op.hpp"
+#include "workload/spec.hpp"
+
+namespace hlock::workload {
+
+class OpGenerator {
+ public:
+  /// `node_index` in [0, nodes): selects this node's home rows.
+  OpGenerator(const WorkloadSpec& spec, std::uint32_t node_index,
+              std::uint32_t nodes, Rng rng);
+
+  /// Draw the next operation.
+  lockmgr::Op next();
+
+  /// Draw the idle (think) time before the next operation.
+  Duration next_idle();
+
+  [[nodiscard]] std::uint32_t entry_count() const { return entry_count_; }
+
+ private:
+  std::uint32_t pick_entry();
+
+  WorkloadSpec spec_;
+  std::uint32_t node_index_;
+  std::uint32_t entry_count_;
+  Rng rng_;
+};
+
+}  // namespace hlock::workload

@@ -1,0 +1,135 @@
+// Integration tests: full simulated clusters of the paper's protocol with
+// the global safety probe armed after every event, across node counts,
+// seeds and workload mixes.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+#include "harness/invariants.hpp"
+
+namespace hlock::harness {
+namespace {
+
+ClusterConfig small_config(std::size_t nodes, std::uint64_t seed,
+                           std::uint32_t ops = 30) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.spec.seed = seed;
+  c.spec.ops_per_node = ops;
+  return c;
+}
+
+TEST(HlsCluster, SingleNodeRunsWithoutMessages) {
+  HlsCluster cluster(small_config(1, 42));
+  install_safety_probe(cluster);
+  cluster.run();
+  const auto r = cluster.result();
+  EXPECT_EQ(r.app_ops, 30u);
+  // Everything is local: the only node is every lock's token node.
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+TEST(HlsCluster, TwoNodesCompleteAndQuiesce) {
+  HlsCluster cluster(small_config(2, 7));
+  install_safety_probe(cluster);
+  cluster.run();
+  EXPECT_EQ(cluster.result().app_ops, 60u);
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+TEST(HlsCluster, EveryOpCompletesAtModerateScale) {
+  HlsCluster cluster(small_config(12, 99, 20));
+  install_safety_probe(cluster);
+  cluster.run();
+  EXPECT_EQ(cluster.result().app_ops, 240u);
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+TEST(HlsCluster, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    HlsCluster cluster(small_config(6, 1234));
+    cluster.run();
+    const auto r = cluster.result();
+    return std::make_tuple(r.messages, r.virtual_end,
+                           r.latency_factor.mean());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(HlsCluster, WriteHeavyMixStaysSafe) {
+  ClusterConfig c = small_config(8, 5, 15);
+  c.spec.p_entry_read = 0.20;
+  c.spec.p_table_read = 0.20;
+  c.spec.p_upgrade = 0.20;
+  c.spec.p_entry_write = 0.20;
+  c.spec.p_table_write = 0.20;
+  HlsCluster cluster(c);
+  install_safety_probe(cluster);
+  cluster.run();
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+TEST(HlsCluster, UpgradeOnlyMixExercisesRule7) {
+  ClusterConfig c = small_config(6, 11, 15);
+  c.spec.p_entry_read = 0.0;
+  c.spec.p_table_read = 0.0;
+  c.spec.p_upgrade = 1.0;
+  c.spec.p_entry_write = 0.0;
+  c.spec.p_table_write = 0.0;
+  HlsCluster cluster(c);
+  install_safety_probe(cluster);
+  cluster.run();
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+TEST(HlsCluster, WriterOnlyMixSerializesEverything) {
+  ClusterConfig c = small_config(5, 13, 10);
+  c.spec.p_entry_read = 0.0;
+  c.spec.p_table_read = 0.0;
+  c.spec.p_upgrade = 0.0;
+  c.spec.p_entry_write = 0.0;
+  c.spec.p_table_write = 1.0;
+  HlsCluster cluster(c);
+  install_safety_probe(cluster);
+  cluster.run();
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: node count x seed, probe always armed.
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  std::size_t nodes;
+  std::uint64_t seed;
+};
+
+class HlsClusterSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(HlsClusterSweep, SafeAndLive) {
+  const auto p = GetParam();
+  HlsCluster cluster(small_config(p.nodes, p.seed, 15));
+  install_safety_probe(cluster);
+  ASSERT_NO_THROW(cluster.run());
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  for (const std::size_t nodes : {2, 3, 4, 6, 9, 16}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      out.push_back({nodes, seed});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(NodesBySeeds, HlsClusterSweep,
+                         ::testing::ValuesIn(sweep_params()),
+                         [](const auto& pinfo) {
+                           return "n" + std::to_string(pinfo.param.nodes) +
+                                  "_s" + std::to_string(pinfo.param.seed);
+                         });
+
+}  // namespace
+}  // namespace hlock::harness

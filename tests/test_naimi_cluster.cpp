@@ -1,0 +1,98 @@
+// Integration tests of the Naimi baselines under the full workload
+// harness: liveness, determinism, and the structural properties the
+// comparison in §4 relies on.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace hlock::harness {
+namespace {
+
+ClusterConfig config_for(std::size_t nodes, std::uint64_t seed) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.spec.seed = seed;
+  c.spec.ops_per_node = 20;
+  return c;
+}
+
+TEST(NaimiCluster, PureCompletesAllOps) {
+  NaimiCluster cluster(config_for(8, 1), /*pure=*/true);
+  cluster.run();
+  const auto r = cluster.result();
+  EXPECT_EQ(r.app_ops, 160u);
+  // Pure: exactly one lock request per op.
+  EXPECT_EQ(r.lock_requests, r.app_ops);
+}
+
+TEST(NaimiCluster, SameWorkCompletesAllOps) {
+  NaimiCluster cluster(config_for(6, 2), /*pure=*/false);
+  cluster.run();
+  const auto r = cluster.result();
+  EXPECT_EQ(r.app_ops, 120u);
+  // Same work issues >= 1 request per op and n per table-level op.
+  EXPECT_GT(r.lock_requests, r.app_ops);
+}
+
+TEST(NaimiCluster, Deterministic) {
+  auto run_once = [](bool pure) {
+    NaimiCluster cluster(config_for(6, 5), pure);
+    cluster.run();
+    const auto r = cluster.result();
+    return std::make_pair(r.messages, r.virtual_end);
+  };
+  EXPECT_EQ(run_once(true), run_once(true));
+  EXPECT_EQ(run_once(false), run_once(false));
+}
+
+TEST(NaimiCluster, OnlyNaimiMessageKindsOnTheWire) {
+  NaimiCluster cluster(config_for(5, 3), /*pure=*/true);
+  cluster.run();
+  const auto& counts = cluster.result().messages_by_kind;
+  EXPECT_GT(counts.get("naimi_request"), 0u);
+  EXPECT_GT(counts.get("naimi_token"), 0u);
+  EXPECT_EQ(counts.get("grant"), 0u);
+  EXPECT_EQ(counts.get("freeze"), 0u);
+}
+
+TEST(NaimiCluster, SingleNodeNeedsNoMessages) {
+  NaimiCluster cluster(config_for(1, 4), /*pure=*/true);
+  cluster.run();
+  EXPECT_EQ(cluster.result().messages, 0u);
+}
+
+TEST(Comparison, OursBeatsPureOnMessagesAtScale) {
+  // The §4 headline: at large n our protocol's per-request message count
+  // undercuts Naimi pure despite the added functionality.
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 30;
+  const auto ours = run_experiment(Protocol::kHls, 60, spec);
+  const auto pure = run_experiment(Protocol::kNaimiPure, 60, spec);
+  EXPECT_LT(ours.msgs_per_lock_request(), pure.msgs_per_lock_request());
+}
+
+TEST(Comparison, SameWorkLatencyIsWorstAndSuperlinear) {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 15;
+  const auto same20 = run_experiment(Protocol::kNaimiSameWork, 20, spec);
+  const auto same40 = run_experiment(Protocol::kNaimiSameWork, 40, spec);
+  const auto ours40 = run_experiment(Protocol::kHls, 40, spec);
+  // Superlinear: doubling n more than doubles the latency factor.
+  EXPECT_GT(same40.latency_factor.mean(),
+            2.0 * same20.latency_factor.mean());
+  EXPECT_GT(same40.latency_factor.mean(), ours40.latency_factor.mean());
+}
+
+TEST(Comparison, OursScalesFlatInMessages) {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 30;
+  const auto at30 = run_experiment(Protocol::kHls, 30, spec);
+  const auto at90 = run_experiment(Protocol::kHls, 90, spec);
+  // Logarithmic asymptote: tripling nodes grows per-request messages by
+  // well under 50%.
+  EXPECT_LT(at90.msgs_per_lock_request(),
+            1.5 * at30.msgs_per_lock_request());
+}
+
+}  // namespace
+}  // namespace hlock::harness

@@ -1,0 +1,158 @@
+// Real-socket substrate tests: framing, event loop, TcpNode mesh delivery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/cluster.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+
+namespace hlock::net {
+namespace {
+
+Message sample_message(std::uint32_t lock, MsgKind kind = MsgKind::kRequest) {
+  Message m;
+  m.kind = kind;
+  m.lock = LockId{lock};
+  m.req.requester = NodeId{7};
+  m.req.mode = Mode::kIW;
+  m.req.stamp = LamportStamp{42, NodeId{7}};
+  m.mode = Mode::kR;
+  m.frozen = ModeSet{Mode::kIW, Mode::kW};
+  return m;
+}
+
+TEST(Framing, RoundTripSingleFrame) {
+  const Message m = sample_message(3);
+  const auto bytes = frame(m);
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  Message out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_EQ(out, m);
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(Framing, HandlesFragmentationAtEveryByteBoundary) {
+  const Message m = sample_message(9, MsgKind::kToken);
+  const auto bytes = frame(m);
+  for (std::size_t split = 1; split < bytes.size(); ++split) {
+    FrameDecoder dec;
+    dec.feed(bytes.data(), split);
+    Message out;
+    const bool early = dec.next(out);
+    dec.feed(bytes.data() + split, bytes.size() - split);
+    if (!early) {
+      ASSERT_TRUE(dec.next(out)) << "split at " << split;
+    }
+    EXPECT_EQ(out, m);
+  }
+}
+
+TEST(Framing, HandlesCoalescedFrames) {
+  FrameDecoder dec;
+  std::vector<Message> sent;
+  std::vector<std::uint8_t> stream;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    sent.push_back(sample_message(i));
+    const auto f = frame(sent.back());
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  dec.feed(stream.data(), stream.size());
+  Message out;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(dec.next(out));
+    EXPECT_EQ(out.lock.value, i);
+  }
+  EXPECT_FALSE(dec.next(out));
+}
+
+TEST(Framing, RejectsOversizedFrame) {
+  FrameDecoder dec;
+  const std::uint8_t bogus[4] = {0xff, 0xff, 0xff, 0xff};
+  dec.feed(bogus, 4);
+  Message out;
+  EXPECT_THROW(dec.next(out), DecodeError);
+}
+
+TEST(EventLoop, RunsPostedTasksAndTimersInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::thread t([&] { loop.run(); });
+  loop.post([&] {
+    loop.schedule(msec(30), [&] {
+      order.push_back(2);
+      loop.stop();
+    });
+    loop.schedule(msec(5), [&] { order.push_back(1); });
+    order.push_back(0);
+  });
+  t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventLoop, CrossThreadPostIsDelivered) {
+  EventLoop loop;
+  std::atomic<int> hits{0};
+  std::thread t([&] { loop.run(); });
+  for (int i = 0; i < 100; ++i) {
+    loop.post([&] { hits.fetch_add(1); });
+  }
+  loop.post([&] { loop.stop(); });
+  t.join();
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(TcpCluster, MeshDeliversMessagesBothDirections) {
+  InProcessCluster cluster(3);
+  std::atomic<int> received[3] = {{0}, {0}, {0}};
+  for (std::size_t i = 0; i < 3; ++i) {
+    cluster.node(i).set_handler(
+        [&received, i](const Message&) { received[i].fetch_add(1); });
+  }
+  // Every node sends to every other node, both dial directions covered.
+  for (std::size_t from = 0; from < 3; ++from) {
+    for (std::size_t to = 0; to < 3; ++to) {
+      if (from == to) continue;
+      cluster.node(from).send(NodeId{static_cast<std::uint32_t>(to)},
+                              sample_message(static_cast<std::uint32_t>(from)));
+    }
+  }
+  for (int spin = 0; spin < 200; ++spin) {
+    if (received[0] == 2 && received[1] == 2 && received[2] == 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(received[0].load(), 2);
+  EXPECT_EQ(received[1].load(), 2);
+  EXPECT_EQ(received[2].load(), 2);
+  cluster.stop();
+}
+
+TEST(TcpCluster, ManyMessagesPreserveChannelFifo) {
+  InProcessCluster cluster(2);
+  std::vector<std::uint32_t> seen;
+  std::mutex m;
+  cluster.node(1).set_handler([&](const Message& msg) {
+    const std::lock_guard<std::mutex> g(m);
+    seen.push_back(msg.lock.value);
+  });
+  constexpr std::uint32_t kCount = 500;
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    cluster.node(0).send(NodeId{1}, sample_message(i));
+  }
+  for (int spin = 0; spin < 300; ++spin) {
+    {
+      const std::lock_guard<std::mutex> g(m);
+      if (seen.size() == kCount) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::lock_guard<std::mutex> g(m);
+  ASSERT_EQ(seen.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) EXPECT_EQ(seen[i], i);
+  cluster.stop();
+}
+
+}  // namespace
+}  // namespace hlock::net

@@ -1,0 +1,153 @@
+// TraceRecorder and JSON export tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/json.hpp"
+#include "harness/trace.hpp"
+
+namespace hlock::harness {
+namespace {
+
+TEST(TraceRecorder, RecordsSendsDeliveriesAndOps) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.spec.ops_per_node = 8;
+  HlsCluster cluster(config);
+  TraceRecorder trace;
+  trace.attach(cluster);
+  cluster.run();
+
+  const auto r = cluster.result();
+  EXPECT_GT(trace.total_recorded(), 0u);
+  std::uint64_t sends = 0, delivers = 0, ops = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    switch (ev.kind) {
+      case TraceEvent::Kind::kSend: ++sends; break;
+      case TraceEvent::Kind::kDeliver: ++delivers; break;
+      case TraceEvent::Kind::kOpDone: ++ops; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(sends, r.messages);
+  EXPECT_EQ(delivers, r.messages);  // lossless network
+  EXPECT_EQ(ops, r.app_ops);
+  // Timestamps are monotone.
+  for (std::size_t i = 1; i < trace.events().size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].at, trace.events()[i].at);
+  }
+}
+
+TEST(TraceRecorder, RecordsDropsOnLossyNetwork) {
+  ClusterConfig config;
+  config.nodes = 6;
+  config.spec.ops_per_node = 10;
+  config.loss_rate = 0.10;
+  HlsCluster cluster(config);
+  TraceRecorder trace;
+  trace.attach(cluster);
+  cluster.run();
+
+  std::uint64_t drops = 0;
+  for (const TraceEvent& ev : trace.events()) {
+    if (ev.kind == TraceEvent::Kind::kDrop) ++drops;
+  }
+  EXPECT_EQ(drops, cluster.network().messages_dropped());
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(TraceRecorder, FiltersByLockAndNode) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.spec.ops_per_node = 10;
+  HlsCluster cluster(config);
+  TraceRecorder trace;
+  trace.attach(cluster);
+  cluster.run();
+
+  const auto table_events = trace.for_lock(LockId{0});
+  EXPECT_FALSE(table_events.empty());
+  for (const TraceEvent& ev : table_events) EXPECT_EQ(ev.lock, LockId{0});
+
+  const auto node1 = trace.for_node(NodeId{1});
+  EXPECT_FALSE(node1.empty());
+  for (const TraceEvent& ev : node1) {
+    EXPECT_TRUE(ev.from == NodeId{1} || ev.to == NodeId{1} ||
+                ev.requester == NodeId{1});
+  }
+}
+
+TEST(TraceRecorder, BoundedCapacity) {
+  TraceRecorder trace(10);
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent ev;
+    ev.at = i;
+    trace.record(ev);
+  }
+  EXPECT_EQ(trace.events().size(), 10u);
+  EXPECT_EQ(trace.total_recorded(), 100u);
+  EXPECT_EQ(trace.events().front().at, 90);
+}
+
+TEST(TraceRecorder, RendersTimeline) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.spec.ops_per_node = 5;
+  HlsCluster cluster(config);
+  TraceRecorder trace;
+  trace.attach(cluster);
+  cluster.run();
+  std::ostringstream os;
+  trace.render(os, 20);
+  const std::string out = os.str();
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find("->"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(JsonExport, ContainsAllHeadlineFields) {
+  ClusterConfig config;
+  config.nodes = 5;
+  config.spec.ops_per_node = 10;
+  HlsCluster cluster(config);
+  cluster.run();
+  const std::string json = to_json(cluster.result());
+  for (const char* key :
+       {"\"nodes\":5", "\"app_ops\":50", "\"msgs_per_lock_request\":",
+        "\"messages_by_kind\":", "\"request\":", "\"latency_factor\":",
+        "\"p95\":", "\"latency_by_kind\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+TEST(JsonExport, ArrayOfResults) {
+  std::vector<ExperimentResult> results(2);
+  results[0].nodes = 1;
+  results[1].nodes = 2;
+  std::ostringstream os;
+  write_json_array(os, results);
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("\"nodes\":1"), std::string::npos);
+  EXPECT_NE(out.find("\"nodes\":2"), std::string::npos);
+}
+
+TEST(JsonExport, IsWellBalanced) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.spec.ops_per_node = 5;
+  HlsCluster cluster(config);
+  cluster.run();
+  const std::string json = to_json(cluster.result());
+  int braces = 0;
+  for (const char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    EXPECT_GE(braces, 0);
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+}  // namespace
+}  // namespace hlock::harness

@@ -1,0 +1,117 @@
+// Property sweep: the safety probe stays green and the system quiesces
+// cleanly across node counts x seeds x workload mixes x latency models x
+// engine-option ablations. Every configuration must also be bit-
+// deterministic across two runs.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+#include "harness/invariants.hpp"
+
+namespace hlock::harness {
+namespace {
+
+struct Mix {
+  const char* name;
+  double entry_read, table_read, upgrade, entry_write, table_write;
+};
+
+constexpr Mix kMixes[] = {
+    {"paper", 0.80, 0.10, 0.04, 0.05, 0.01},
+    {"read_only", 0.90, 0.10, 0.00, 0.00, 0.00},
+    {"write_heavy", 0.20, 0.10, 0.10, 0.40, 0.20},
+    {"upgrade_heavy", 0.40, 0.10, 0.40, 0.05, 0.05},
+    {"table_only", 0.00, 0.60, 0.20, 0.00, 0.20},
+};
+
+struct Param {
+  std::size_t nodes;
+  std::uint64_t seed;
+  int mix;
+  LatencyKind latency;
+  int ablation;  // 0 = full, 1..4 = one toggle off
+  std::string label() const {
+    const char* lat = latency == LatencyKind::kUniform      ? "uni"
+                      : latency == LatencyKind::kConstant   ? "const"
+                                                            : "exp";
+    return "n" + std::to_string(nodes) + "_s" + std::to_string(seed) + "_" +
+           kMixes[mix].name + "_" + lat + "_a" + std::to_string(ablation);
+  }
+};
+
+core::EngineOptions ablation_opts(int ablation) {
+  core::EngineOptions opts;
+  switch (ablation) {
+    case 1: opts.allow_child_grants = false; break;
+    case 2: opts.allow_local_queues = false; break;
+    case 3: opts.enable_freezing = false; break;
+    case 4: opts.lazy_release = false; break;
+    default: break;
+  }
+  return opts;
+}
+
+ClusterConfig make_config(const Param& p) {
+  ClusterConfig config;
+  config.nodes = p.nodes;
+  config.latency = p.latency;
+  config.engine_opts = ablation_opts(p.ablation);
+  config.spec.seed = p.seed * 7919 + static_cast<std::uint64_t>(p.mix);
+  config.spec.ops_per_node = 12;
+  const Mix& mix = kMixes[p.mix];
+  config.spec.p_entry_read = mix.entry_read;
+  config.spec.p_table_read = mix.table_read;
+  config.spec.p_upgrade = mix.upgrade;
+  config.spec.p_entry_write = mix.entry_write;
+  config.spec.p_table_write = mix.table_write;
+  return config;
+}
+
+class ProtocolProperties : public ::testing::TestWithParam<Param> {};
+
+TEST_P(ProtocolProperties, SafeLiveQuiescentDeterministic) {
+  const ClusterConfig config = make_config(GetParam());
+
+  HlsCluster cluster(config);
+  install_safety_probe(cluster);
+  ASSERT_NO_THROW(cluster.run());
+  EXPECT_EQ(check_quiescent(cluster), "");
+  const auto first = cluster.result();
+
+  // Determinism: identical messages, virtual end time and latency stats.
+  HlsCluster again(config);
+  again.run();
+  const auto second = again.result();
+  EXPECT_EQ(first.messages, second.messages);
+  EXPECT_EQ(first.virtual_end, second.virtual_end);
+  EXPECT_EQ(first.latency_factor.mean(), second.latency_factor.mean());
+}
+
+std::vector<Param> make_params() {
+  std::vector<Param> out;
+  // Mix & latency coverage at two scales, full protocol.
+  for (int mix = 0; mix < 5; ++mix) {
+    for (const auto lat : {LatencyKind::kUniform, LatencyKind::kConstant,
+                           LatencyKind::kExponential}) {
+      out.push_back({6, 1, mix, lat, 0});
+    }
+  }
+  // Seed sweep at the paper mix.
+  for (std::uint64_t seed = 2; seed <= 9; ++seed) {
+    out.push_back({8, seed, 0, LatencyKind::kUniform, 0});
+  }
+  // Ablations stay correct (they only trade performance).
+  for (int ablation = 1; ablation <= 4; ++ablation) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      out.push_back({7, seed, 0, LatencyKind::kUniform, ablation});
+      out.push_back({7, seed, 2, LatencyKind::kUniform, ablation});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ProtocolProperties,
+                         ::testing::ValuesIn(make_params()),
+                         [](const auto& pinfo) { return pinfo.param.label(); });
+
+}  // namespace
+}  // namespace hlock::harness

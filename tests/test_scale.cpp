@@ -1,0 +1,61 @@
+// Paper-scale smoke tests: the full 120-node configuration completes,
+// quiesces cleanly, and hits the paper's headline numbers within loose
+// shape bounds. (The per-event safety probe is O(locks·nodes²) and is
+// exercised at smaller scales in test_hls_cluster; here we assert the end
+// state and the metrics.)
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/invariants.hpp"
+
+namespace hlock::harness {
+namespace {
+
+TEST(Scale, HundredTwentyNodesPaperWorkload) {
+  ClusterConfig config;
+  config.nodes = 120;
+  config.spec.ops_per_node = 40;
+  HlsCluster cluster(config);
+  cluster.run();
+  EXPECT_EQ(check_quiescent(cluster), "");
+  const auto r = cluster.result();
+  EXPECT_EQ(r.app_ops, 4800u);
+  // Headline shape bounds (generous: different seeds move these a little).
+  EXPECT_GT(r.msgs_per_lock_request(), 2.0);
+  EXPECT_LT(r.msgs_per_lock_request(), 4.5);
+  EXPECT_GT(r.latency_factor.mean(), 10.0);
+  EXPECT_LT(r.latency_factor.mean(), 200.0);
+}
+
+TEST(Scale, LogarithmicAsymptoteHolds) {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 40;
+  const auto at60 = run_experiment(Protocol::kHls, 60, spec);
+  const auto at120 = run_experiment(Protocol::kHls, 120, spec);
+  // Doubling nodes must grow per-request messages by < 25% (§6: the
+  // logarithmic asymptote survives hierarchical modes).
+  EXPECT_LT(at120.msgs_per_lock_request(),
+            1.25 * at60.msgs_per_lock_request());
+}
+
+TEST(Scale, OursBeatsNaimiPureAtPaperScale) {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 40;
+  const auto ours = run_experiment(Protocol::kHls, 120, spec);
+  const auto pure = run_experiment(Protocol::kNaimiPure, 120, spec);
+  EXPECT_LT(ours.msgs_per_lock_request(), pure.msgs_per_lock_request());
+  EXPECT_LT(ours.latency_factor.mean(), pure.latency_factor.mean());
+}
+
+TEST(Scale, LossyHundredNodesStillCompletes) {
+  ClusterConfig config;
+  config.nodes = 100;
+  config.spec.ops_per_node = 15;
+  config.loss_rate = 0.05;
+  HlsCluster cluster(config);
+  cluster.run();
+  EXPECT_EQ(check_quiescent(cluster), "");
+}
+
+}  // namespace
+}  // namespace hlock::harness

@@ -1,0 +1,153 @@
+// Session state-machine tests over the simulator: each op kind drives the
+// right lock sequence with the right modes, and the stats are accurate.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+#include "harness/invariants.hpp"
+
+namespace hlock::harness {
+namespace {
+
+/// Run one specific op on node `who` of a small HLS cluster and return its
+/// stats; the cluster's generators are bypassed.
+lockmgr::OpStats run_single_op(lockmgr::Op op, std::size_t nodes = 3,
+                               std::size_t who = 1) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.spec.ops_per_node = 0;  // no generated traffic
+  HlsCluster cluster(config);
+  install_safety_probe(cluster);
+
+  lockmgr::OpStats result;
+  bool done = false;
+  SimExecutor exec(cluster.simulator());
+  lockmgr::HierSession session(cluster.node(who), cluster.layout(), exec);
+  cluster.simulator().schedule_at(0, [&] {
+    session.start(op, [&](const lockmgr::OpStats& stats) {
+      result = stats;
+      done = true;
+    });
+  });
+  cluster.simulator().run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(check_quiescent(cluster), "");
+  return result;
+}
+
+TEST(HierSession, TableReadIsOneLockRequest) {
+  lockmgr::Op op;
+  op.kind = lockmgr::OpKind::kTableRead;
+  op.cs = msec(5);
+  const auto stats = run_single_op(op);
+  EXPECT_EQ(stats.lock_requests, 1u);
+  EXPECT_GT(stats.acquire_latency, 0);
+}
+
+TEST(HierSession, EntryOpsTakeIntentPlusLeaf) {
+  for (const auto kind :
+       {lockmgr::OpKind::kEntryRead, lockmgr::OpKind::kEntryWrite}) {
+    lockmgr::Op op;
+    op.kind = kind;
+    op.entry = 2;
+    op.cs = msec(5);
+    const auto stats = run_single_op(op);
+    EXPECT_EQ(stats.lock_requests, 2u) << to_string(kind);
+  }
+}
+
+TEST(HierSession, UpgradeOpCompletesBothPhases) {
+  lockmgr::Op op;
+  op.kind = lockmgr::OpKind::kTableUpgrade;
+  op.cs = msec(10);
+  const auto stats = run_single_op(op);
+  EXPECT_EQ(stats.lock_requests, 1u);
+}
+
+TEST(HierSession, RejectsConcurrentOps) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.spec.ops_per_node = 0;
+  HlsCluster cluster(config);
+  SimExecutor exec(cluster.simulator());
+  lockmgr::HierSession session(cluster.node(0), cluster.layout(), exec);
+  lockmgr::Op op;
+  op.kind = lockmgr::OpKind::kTableRead;
+  op.cs = msec(5);
+  cluster.simulator().schedule_at(0, [&] {
+    session.start(op, [](const lockmgr::OpStats&) {});
+    EXPECT_THROW(session.start(op, [](const lockmgr::OpStats&) {}),
+                 std::logic_error);
+  });
+  cluster.simulator().run_all();
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(NaimiSessions, OrderedTableOpTakesEveryEntryLock) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.spec.ops_per_node = 0;
+  config.spec.entries_per_node = 2;  // 8 entries
+  NaimiCluster cluster(config, /*pure=*/false);
+  SimExecutor exec(cluster.simulator());
+  lockmgr::ResourceLayout layout(8);
+  lockmgr::NaimiOrderedSession session(cluster.node(1), layout, exec);
+  lockmgr::Op op;
+  op.kind = lockmgr::OpKind::kTableWrite;
+  op.cs = msec(5);
+  lockmgr::OpStats result;
+  cluster.simulator().schedule_at(0, [&] {
+    session.start(op, [&](const lockmgr::OpStats& s) { result = s; });
+  });
+  cluster.simulator().run_all();
+  EXPECT_EQ(result.lock_requests, 8u);
+}
+
+TEST(NaimiSessions, OrderedEntryOpTakesOneLock) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.spec.ops_per_node = 0;
+  NaimiCluster cluster(config, /*pure=*/false);
+  SimExecutor exec(cluster.simulator());
+  lockmgr::ResourceLayout layout(4);
+  lockmgr::NaimiOrderedSession session(cluster.node(2), layout, exec);
+  lockmgr::Op op;
+  op.kind = lockmgr::OpKind::kEntryRead;
+  op.entry = 3;
+  op.cs = msec(5);
+  lockmgr::OpStats result;
+  cluster.simulator().schedule_at(0, [&] {
+    session.start(op, [&](const lockmgr::OpStats& s) { result = s; });
+  });
+  cluster.simulator().run_all();
+  EXPECT_EQ(result.lock_requests, 1u);
+}
+
+TEST(NaimiSessions, PureAlwaysOneLock) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.spec.ops_per_node = 0;
+  NaimiCluster cluster(config, /*pure=*/true);
+  SimExecutor exec(cluster.simulator());
+  lockmgr::NaimiPureSession session(cluster.node(1), LockId{0}, exec);
+  for (const auto kind :
+       {lockmgr::OpKind::kTableWrite, lockmgr::OpKind::kEntryRead}) {
+    lockmgr::Op op;
+    op.kind = kind;
+    op.cs = msec(2);
+    lockmgr::OpStats result;
+    bool done = false;
+    cluster.simulator().schedule_after(0, [&] {
+      session.start(op, [&](const lockmgr::OpStats& s) {
+        result = s;
+        done = true;
+      });
+    });
+    cluster.simulator().run_all();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(result.lock_requests, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hlock::harness

@@ -1,0 +1,63 @@
+#include <iostream>
+#include "harness/cluster.hpp"
+#include "harness/invariants.hpp"
+using namespace hlock;
+using namespace hlock::harness;
+
+int main(int argc, char** argv) {
+  ClusterConfig c;
+  c.nodes = argc > 1 ? std::stoul(argv[1]) : 2;
+  c.spec.seed = argc > 2 ? std::stoull(argv[2]) : 2;
+  c.spec.ops_per_node = argc > 3 ? std::stoul(argv[3]) : 15;
+  HlsCluster cluster(c);
+  cluster.network().on_deliver = [&](NodeId f, NodeId t, const Message& m) {
+    std::cout << cluster.simulator().now() << " lock" << m.lock.value
+              << " " << f << "->" << t << " " << to_string(m.kind)
+              << " req{" << m.req.requester << "," << to_string(m.req.mode)
+              << (m.req.upgrade ? ",upg" : "") << "}"
+              << " mode=" << to_string(m.mode)
+              << " frozen=" << m.frozen.to_string()
+              << " sender_owned=" << to_string(m.sender_owned)
+              << " q=" << m.queue.size() << "\n";
+  };
+  cluster.simulator().post_event_hook = [&] {
+    const std::string err = check_safety(cluster);
+    if (!err.empty()) {
+      std::cout << "VIOLATION @" << cluster.simulator().now() << ": " << err << "\n";
+      // dump state
+      for (size_t i = 0; i < cluster.node_count(); ++i) {
+        auto& e = cluster.node(i).engine(LockId{0});
+        std::cout << "  node" << i << " token=" << e.is_token_node()
+                  << " parent=" << e.parent() << " owned=" << to_string(e.owned_mode())
+                  << " held=" << to_string(e.held_mode())
+                  << " pending=" << e.has_pending()
+                  << " qlen=" << e.queue().size()
+                  << " frozen=" << e.frozen().to_string() << " children={";
+        for (auto& [ch, m2] : e.children()) std::cout << ch << ":" << to_string(m2) << " ";
+        std::cout << "}\n";
+      }
+      std::exit(1);
+    }
+  };
+  auto dump = [&](LockId lk) {
+    for (size_t i = 0; i < cluster.node_count(); ++i) {
+      auto& e = cluster.node(i).engine(lk);
+      std::cout << "  lock" << lk.value << " node" << i << " token=" << e.is_token_node()
+                << " parent=" << e.parent() << " owned=" << to_string(e.owned_mode())
+                << " held=" << to_string(e.held_mode())
+                << " pending=" << e.has_pending() << " backlog=" << e.backlog_size()
+                << " frozen=" << e.frozen().to_string() << " children={";
+      for (auto& [ch, m2] : e.children()) std::cout << ch << ":" << to_string(m2) << " ";
+      std::cout << "} queue=[";
+      for (auto& q : e.queue()) std::cout << q.requester << ":" << to_string(q.mode) << (q.upgrade?"^":"") << " ";
+      std::cout << "]\n";
+    }
+  };
+  try { cluster.run(); } catch (const std::exception& e) {
+    std::cout << "EXCEPTION: " << e.what() << "\n";
+    for (uint32_t l = 0; l < cluster.layout().lock_count(); ++l) dump(LockId{l});
+    return 2;
+  }
+  std::cout << "OK msgs=" << cluster.result().messages << "\n";
+  return 0;
+}

@@ -1,0 +1,177 @@
+// hlock_experiment — run any single experiment configuration from the
+// command line, printing a summary table and optionally machine-readable
+// JSON. The scripting companion to the fixed-figure bench binaries.
+//
+//   ./hlock_experiment --protocol hls --nodes 64 --ops 100 --seed 7
+//   ./hlock_experiment --protocol naimi-pure --nodes 120 --json
+//   ./hlock_experiment --sweep --protocol hls --json   # node-count sweep
+//
+// Options:
+//   --protocol hls|naimi-pure|naimi-same-work   (default hls)
+//   --nodes N          (default 24)           --ops N      (default 60)
+//   --seed N           (default 0x5eed)       --loss P     (default 0)
+//   --cs MS / --idle MS / --latency MS        workload timings
+//   --mix a,b,c,d,e    entry_read,table_read,upgrade,entry_write,table_write
+//   --home-bias P      entry-op locality      --entries N  rows per node
+//   --no-child-grants --no-local-queues --no-freezing --eager-releases
+//   --priorities       enable priority arbitration
+//   --sweep            run the standard node-count sweep instead of one n
+//   --json             emit JSON instead of the ASCII table
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/json.hpp"
+
+using namespace hlock;
+using namespace hlock::harness;
+
+namespace {
+
+struct Options {
+  Protocol protocol = Protocol::kHls;
+  std::size_t nodes = 24;
+  workload::WorkloadSpec spec;
+  core::EngineOptions engine;
+  double loss = 0.0;
+  bool sweep = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage_error(const std::string& what) {
+  std::cerr << "error: " << what << " (see the header of this tool's "
+            << "source for options)\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  opt.spec.ops_per_node = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (++i >= argc) usage_error("missing value for " + arg);
+      return argv[i];
+    };
+    if (arg == "--protocol") {
+      const std::string p = value();
+      if (p == "hls") opt.protocol = Protocol::kHls;
+      else if (p == "naimi-pure") opt.protocol = Protocol::kNaimiPure;
+      else if (p == "naimi-same-work")
+        opt.protocol = Protocol::kNaimiSameWork;
+      else usage_error("unknown protocol " + p);
+    } else if (arg == "--nodes") {
+      opt.nodes = std::stoul(value());
+    } else if (arg == "--ops") {
+      opt.spec.ops_per_node = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--seed") {
+      opt.spec.seed = std::stoull(value());
+    } else if (arg == "--loss") {
+      opt.loss = std::stod(value());
+    } else if (arg == "--cs") {
+      opt.spec.cs_mean = msec(std::stol(value()));
+    } else if (arg == "--idle") {
+      opt.spec.idle_mean = msec(std::stol(value()));
+    } else if (arg == "--latency") {
+      opt.spec.net_latency_mean = msec(std::stol(value()));
+    } else if (arg == "--home-bias") {
+      opt.spec.home_bias = std::stod(value());
+    } else if (arg == "--entries") {
+      opt.spec.entries_per_node =
+          static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--mix") {
+      std::istringstream in(value());
+      std::string part;
+      std::vector<double> parts;
+      while (std::getline(in, part, ',')) parts.push_back(std::stod(part));
+      if (parts.size() != 5) usage_error("--mix expects 5 comma values");
+      opt.spec.p_entry_read = parts[0];
+      opt.spec.p_table_read = parts[1];
+      opt.spec.p_upgrade = parts[2];
+      opt.spec.p_entry_write = parts[3];
+      opt.spec.p_table_write = parts[4];
+    } else if (arg == "--no-child-grants") {
+      opt.engine.allow_child_grants = false;
+    } else if (arg == "--no-local-queues") {
+      opt.engine.allow_local_queues = false;
+    } else if (arg == "--no-freezing") {
+      opt.engine.enable_freezing = false;
+    } else if (arg == "--eager-releases") {
+      opt.engine.lazy_release = false;
+    } else if (arg == "--priorities") {
+      opt.engine.enable_priorities = true;
+    } else if (arg == "--sweep") {
+      opt.sweep = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else {
+      usage_error("unknown argument " + arg);
+    }
+  }
+  opt.spec.validate();
+  return opt;
+}
+
+ExperimentResult run_one(const Options& opt, std::size_t nodes) {
+  ClusterConfig config;
+  config.nodes = nodes;
+  config.spec = opt.spec;
+  config.engine_opts = opt.engine;
+  config.loss_rate = opt.loss;
+  switch (opt.protocol) {
+    case Protocol::kHls: {
+      HlsCluster cluster(config);
+      cluster.run();
+      return cluster.result();
+    }
+    case Protocol::kNaimiPure: {
+      NaimiCluster cluster(config, true);
+      cluster.run();
+      return cluster.result();
+    }
+    case Protocol::kNaimiSameWork: {
+      NaimiCluster cluster(config, false);
+      cluster.run();
+      return cluster.result();
+    }
+  }
+  throw std::logic_error("bad protocol");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  std::vector<ExperimentResult> results;
+  if (opt.sweep) {
+    for (const std::size_t n : sweep_node_counts()) {
+      results.push_back(run_one(opt, n));
+    }
+  } else {
+    results.push_back(run_one(opt, opt.nodes));
+  }
+
+  if (opt.json) {
+    write_json_array(std::cout, results);
+    return 0;
+  }
+  TablePrinter table({"nodes", "ops", "lock reqs", "messages", "msgs/req",
+                      "latency factor", "p95"});
+  for (const auto& r : results) {
+    table.row({std::to_string(r.nodes), std::to_string(r.app_ops),
+               std::to_string(r.lock_requests), std::to_string(r.messages),
+               TablePrinter::num(r.msgs_per_lock_request()),
+               TablePrinter::num(r.latency_factor.mean(), 1),
+               TablePrinter::num(r.latency_factor.percentile(0.95), 1)});
+  }
+  std::cout << to_string(opt.protocol) << ", seed " << opt.spec.seed
+            << (opt.loss > 0 ? ", loss " + std::to_string(opt.loss) : "")
+            << "\n\n";
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,18 @@
+#include <iostream>
+#include "harness/experiment.hpp"
+using namespace hlock;
+using namespace hlock::harness;
+int main() {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 60;
+  for (size_t n : {10ul, 40ul, 120ul}) {
+    for (auto p : {Protocol::kHls, Protocol::kNaimiPure, Protocol::kNaimiSameWork}) {
+      auto r = run_experiment(p, n, spec);
+      std::cout << to_string(p) << " n=" << n
+                << " msgs/req=" << r.msgs_per_lock_request()
+                << " msgs/op=" << r.msgs_per_op()
+                << " latfactor=" << r.latency_factor.mean()
+                << " vend=" << r.virtual_end/1000000.0 << "s\n";
+    }
+  }
+}
