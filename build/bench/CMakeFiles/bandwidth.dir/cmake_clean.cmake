@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth.dir/bandwidth.cpp.o"
+  "CMakeFiles/bandwidth.dir/bandwidth.cpp.o.d"
+  "bandwidth"
+  "bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity.dir/granularity.cpp.o"
+  "CMakeFiles/granularity.dir/granularity.cpp.o.d"
+  "granularity"
+  "granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

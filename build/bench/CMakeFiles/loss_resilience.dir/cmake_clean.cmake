@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_resilience.dir/loss_resilience.cpp.o"
+  "CMakeFiles/loss_resilience.dir/loss_resilience.cpp.o.d"
+  "loss_resilience"
+  "loss_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_length.dir/path_length.cpp.o"
+  "CMakeFiles/path_length.dir/path_length.cpp.o.d"
+  "path_length"
+  "path_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/permode_latency.dir/permode_latency.cpp.o"
+  "CMakeFiles/permode_latency.dir/permode_latency.cpp.o.d"
+  "permode_latency"
+  "permode_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/permode_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_arbitration.dir/priority_arbitration.cpp.o"
+  "CMakeFiles/priority_arbitration.dir/priority_arbitration.cpp.o.d"
+  "priority_arbitration"
+  "priority_arbitration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_claims.dir/summary_claims.cpp.o"
+  "CMakeFiles/summary_claims.dir/summary_claims.cpp.o.d"
+  "summary_claims"
+  "summary_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_rules.dir/tables_rules.cpp.o"
+  "CMakeFiles/tables_rules.dir/tables_rules.cpp.o.d"
+  "tables_rules"
+  "tables_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

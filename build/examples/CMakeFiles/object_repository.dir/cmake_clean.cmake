@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_repository.dir/object_repository.cpp.o"
+  "CMakeFiles/object_repository.dir/object_repository.cpp.o.d"
+  "object_repository"
+  "object_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

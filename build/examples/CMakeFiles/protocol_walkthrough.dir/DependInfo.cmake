@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/protocol_walkthrough.cpp" "examples/CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o" "gcc" "examples/CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hlock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hlock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hlock_core_modes.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_common.dir/bytes.cpp.o"
+  "CMakeFiles/hlock_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hlock_common.dir/logging.cpp.o"
+  "CMakeFiles/hlock_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hlock_common.dir/rng.cpp.o"
+  "CMakeFiles/hlock_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hlock_common.dir/stats.cpp.o"
+  "CMakeFiles/hlock_common.dir/stats.cpp.o.d"
+  "libhlock_common.a"
+  "libhlock_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

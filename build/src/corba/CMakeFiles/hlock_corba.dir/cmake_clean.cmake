@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_corba.dir/concurrency.cpp.o"
+  "CMakeFiles/hlock_corba.dir/concurrency.cpp.o.d"
+  "libhlock_corba.a"
+  "libhlock_corba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_corba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_core.dir/hls_engine.cpp.o"
+  "CMakeFiles/hlock_core.dir/hls_engine.cpp.o.d"
+  "CMakeFiles/hlock_core.dir/hls_node.cpp.o"
+  "CMakeFiles/hlock_core.dir/hls_node.cpp.o.d"
+  "libhlock_core.a"
+  "libhlock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_core_modes.dir/mode.cpp.o"
+  "CMakeFiles/hlock_core_modes.dir/mode.cpp.o.d"
+  "libhlock_core_modes.a"
+  "libhlock_core_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_core_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_harness.dir/cluster.cpp.o"
+  "CMakeFiles/hlock_harness.dir/cluster.cpp.o.d"
+  "CMakeFiles/hlock_harness.dir/deadlock.cpp.o"
+  "CMakeFiles/hlock_harness.dir/deadlock.cpp.o.d"
+  "CMakeFiles/hlock_harness.dir/experiment.cpp.o"
+  "CMakeFiles/hlock_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/hlock_harness.dir/invariants.cpp.o"
+  "CMakeFiles/hlock_harness.dir/invariants.cpp.o.d"
+  "CMakeFiles/hlock_harness.dir/json.cpp.o"
+  "CMakeFiles/hlock_harness.dir/json.cpp.o.d"
+  "CMakeFiles/hlock_harness.dir/trace.cpp.o"
+  "CMakeFiles/hlock_harness.dir/trace.cpp.o.d"
+  "libhlock_harness.a"
+  "libhlock_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_lockmgr.dir/hierarchy.cpp.o"
+  "CMakeFiles/hlock_lockmgr.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/hlock_lockmgr.dir/plan_session.cpp.o"
+  "CMakeFiles/hlock_lockmgr.dir/plan_session.cpp.o.d"
+  "CMakeFiles/hlock_lockmgr.dir/session.cpp.o"
+  "CMakeFiles/hlock_lockmgr.dir/session.cpp.o.d"
+  "CMakeFiles/hlock_lockmgr.dir/waitgraph.cpp.o"
+  "CMakeFiles/hlock_lockmgr.dir/waitgraph.cpp.o.d"
+  "libhlock_lockmgr.a"
+  "libhlock_lockmgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_lockmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_msg.dir/message.cpp.o"
+  "CMakeFiles/hlock_msg.dir/message.cpp.o.d"
+  "libhlock_msg.a"
+  "libhlock_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_naimi.dir/naimi_engine.cpp.o"
+  "CMakeFiles/hlock_naimi.dir/naimi_engine.cpp.o.d"
+  "CMakeFiles/hlock_naimi.dir/naimi_node.cpp.o"
+  "CMakeFiles/hlock_naimi.dir/naimi_node.cpp.o.d"
+  "libhlock_naimi.a"
+  "libhlock_naimi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_naimi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_net.dir/cluster.cpp.o"
+  "CMakeFiles/hlock_net.dir/cluster.cpp.o.d"
+  "CMakeFiles/hlock_net.dir/event_loop.cpp.o"
+  "CMakeFiles/hlock_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/hlock_net.dir/framing.cpp.o"
+  "CMakeFiles/hlock_net.dir/framing.cpp.o.d"
+  "CMakeFiles/hlock_net.dir/tcp_node.cpp.o"
+  "CMakeFiles/hlock_net.dir/tcp_node.cpp.o.d"
+  "libhlock_net.a"
+  "libhlock_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_sim.dir/reliable.cpp.o"
+  "CMakeFiles/hlock_sim.dir/reliable.cpp.o.d"
+  "CMakeFiles/hlock_sim.dir/simnet.cpp.o"
+  "CMakeFiles/hlock_sim.dir/simnet.cpp.o.d"
+  "CMakeFiles/hlock_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hlock_sim.dir/simulator.cpp.o.d"
+  "libhlock_sim.a"
+  "libhlock_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

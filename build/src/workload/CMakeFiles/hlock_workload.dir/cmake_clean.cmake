@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_workload.dir/airline.cpp.o"
+  "CMakeFiles/hlock_workload.dir/airline.cpp.o.d"
+  "CMakeFiles/hlock_workload.dir/generator.cpp.o"
+  "CMakeFiles/hlock_workload.dir/generator.cpp.o.d"
+  "libhlock_workload.a"
+  "libhlock_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cancel.dir/test_cancel.cpp.o"
+  "CMakeFiles/test_cancel.dir/test_cancel.cpp.o.d"
+  "test_cancel"
+  "test_cancel.pdb"
+  "test_cancel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cancel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

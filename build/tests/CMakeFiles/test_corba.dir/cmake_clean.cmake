@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corba.dir/test_corba.cpp.o"
+  "CMakeFiles/test_corba.dir/test_corba.cpp.o.d"
+  "test_corba"
+  "test_corba.pdb"
+  "test_corba[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corba_advanced.dir/test_corba_advanced.cpp.o"
+  "CMakeFiles/test_corba_advanced.dir/test_corba_advanced.cpp.o.d"
+  "test_corba_advanced"
+  "test_corba_advanced.pdb"
+  "test_corba_advanced[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corba_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_cluster.dir/test_hls_cluster.cpp.o"
+  "CMakeFiles/test_hls_cluster.dir/test_hls_cluster.cpp.o.d"
+  "test_hls_cluster"
+  "test_hls_cluster.pdb"
+  "test_hls_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

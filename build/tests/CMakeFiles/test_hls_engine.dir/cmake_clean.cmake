@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hls_engine.dir/test_hls_engine.cpp.o"
+  "CMakeFiles/test_hls_engine.dir/test_hls_engine.cpp.o.d"
+  "test_hls_engine"
+  "test_hls_engine.pdb"
+  "test_hls_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hls_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lockmgr.dir/test_lockmgr.cpp.o"
+  "CMakeFiles/test_lockmgr.dir/test_lockmgr.cpp.o.d"
+  "test_lockmgr"
+  "test_lockmgr.pdb"
+  "test_lockmgr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lockmgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naimi_cluster.dir/test_naimi_cluster.cpp.o"
+  "CMakeFiles/test_naimi_cluster.dir/test_naimi_cluster.cpp.o.d"
+  "test_naimi_cluster"
+  "test_naimi_cluster.pdb"
+  "test_naimi_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naimi_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

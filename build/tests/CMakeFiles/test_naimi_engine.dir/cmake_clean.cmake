@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naimi_engine.dir/test_naimi_engine.cpp.o"
+  "CMakeFiles/test_naimi_engine.dir/test_naimi_engine.cpp.o.d"
+  "test_naimi_engine"
+  "test_naimi_engine.pdb"
+  "test_naimi_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naimi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_naimi_fuzz.dir/test_naimi_fuzz.cpp.o"
+  "CMakeFiles/test_naimi_fuzz.dir/test_naimi_fuzz.cpp.o.d"
+  "test_naimi_fuzz"
+  "test_naimi_fuzz.pdb"
+  "test_naimi_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_naimi_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sessions.cpp" "tests/CMakeFiles/test_sessions.dir/test_sessions.cpp.o" "gcc" "tests/CMakeFiles/test_sessions.dir/test_sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/hlock_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lockmgr/CMakeFiles/hlock_lockmgr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hlock_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hlock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/naimi/CMakeFiles/hlock_naimi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hlock_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/hlock_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hlock_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hlock_core_modes.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

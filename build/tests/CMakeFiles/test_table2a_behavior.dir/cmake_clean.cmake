@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table2a_behavior.dir/test_table2a_behavior.cpp.o"
+  "CMakeFiles/test_table2a_behavior.dir/test_table2a_behavior.cpp.o.d"
+  "test_table2a_behavior"
+  "test_table2a_behavior.pdb"
+  "test_table2a_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table2a_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

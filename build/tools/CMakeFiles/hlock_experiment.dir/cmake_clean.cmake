@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_experiment.dir/hlock_experiment.cpp.o"
+  "CMakeFiles/hlock_experiment.dir/hlock_experiment.cpp.o.d"
+  "hlock_experiment"
+  "hlock_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

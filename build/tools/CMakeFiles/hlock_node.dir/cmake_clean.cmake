@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlock_node.dir/hlock_node.cpp.o"
+  "CMakeFiles/hlock_node.dir/hlock_node.cpp.o.d"
+  "hlock_node"
+  "hlock_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlock_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

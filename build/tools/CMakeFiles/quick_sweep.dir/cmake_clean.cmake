@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_sweep.dir/quick_sweep.cpp.o"
+  "CMakeFiles/quick_sweep.dir/quick_sweep.cpp.o.d"
+  "quick_sweep"
+  "quick_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
