@@ -109,7 +109,7 @@ BENCHMARK(BM_MessageCodecRoundTrip);
 /// message-free and cheap.
 void BM_LocalReacquire(benchmark::State& state) {
   struct NullTransport final : Transport {
-    void send(NodeId, const Message&) override {}
+    void send(NodeId, Message) override {}
   } transport;
   core::HlsEngine engine(LockId{0}, NodeId{0}, NodeId{0}, transport);
   const RequestId base = engine.request_lock(Mode::kR);

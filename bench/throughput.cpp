@@ -1,0 +1,153 @@
+// Wall-clock throughput of the discrete-event core: sim events/sec and
+// lock acquires/sec under the fig5 workload, for our protocol and the
+// Naimi-pure baseline, at n in {16, 64, 120, 256}.
+//
+// Unlike the figure benches (which report *virtual-time* metrics), this
+// one measures how fast the simulator itself executes — the hard ceiling
+// on every sweep and sensitivity run. Each point is run `--repeat` times
+// (same seed, bit-identical virtual behavior) and the best wall time is
+// reported. Before/after numbers per PR live in BENCH_throughput.json;
+// docs/PERFORMANCE.md describes the methodology.
+//
+//   ./throughput                       # default sweep, ASCII table
+//   ./throughput --json                # machine-readable, for the JSON log
+//   ./throughput --nodes 24 --ops 40   # one custom point
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.hpp"
+#include "harness/experiment.hpp"
+
+using namespace hlock;
+using namespace hlock::harness;
+
+namespace {
+
+struct Sample {
+  std::string protocol;
+  std::size_t nodes{0};
+  double wall_ms{0};
+  std::uint64_t events{0};
+  ExperimentResult result;
+
+  [[nodiscard]] double events_per_sec() const {
+    return static_cast<double>(events) / (wall_ms / 1000.0);
+  }
+  [[nodiscard]] double acquires_per_sec() const {
+    return static_cast<double>(result.lock_requests) / (wall_ms / 1000.0);
+  }
+};
+
+template <typename Cluster, typename... Extra>
+Sample run_one(const char* name, std::size_t nodes,
+               const workload::WorkloadSpec& spec, int repeat,
+               Extra... extra) {
+  Sample s;
+  s.protocol = name;
+  s.nodes = nodes;
+  for (int i = 0; i < repeat; ++i) {
+    ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.spec = spec;
+    Cluster cluster(cfg, extra...);
+    const auto t0 = std::chrono::steady_clock::now();
+    cluster.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (i == 0 || ms < s.wall_ms) s.wall_ms = ms;
+    s.events = cluster.simulator().events_processed();
+    s.result = cluster.result();
+  }
+  return s;
+}
+
+void emit_json(std::ostream& os, const std::vector<Sample>& samples) {
+  os << "[\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    os << "  {\"protocol\":\"" << s.protocol << "\",\"nodes\":" << s.nodes
+       << ",\"wall_ms\":" << s.wall_ms << ",\"events\":" << s.events
+       << ",\"events_per_sec\":" << static_cast<std::uint64_t>(s.events_per_sec())
+       << ",\"acquires_per_sec\":"
+       << static_cast<std::uint64_t>(s.acquires_per_sec())
+       << ",\"lock_requests\":" << s.result.lock_requests
+       << ",\"messages\":" << s.result.messages
+       << ",\"wire_bytes\":" << s.result.wire_bytes
+       << ",\"virtual_end_us\":" << s.result.virtual_end
+       << ",\"messages_by_kind\":{";
+    bool first = true;
+    for (const auto& [kind, count] : s.result.messages_by_kind.all()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << kind << "\":" << count;
+    }
+    os << "}}" << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 60;
+  std::vector<std::size_t> node_counts{16, 64, 120, 256};
+  int repeat = 3;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (++i >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--nodes") {
+      node_counts = {std::strtoul(value(), nullptr, 10)};
+    } else if (arg == "--ops") {
+      spec.ops_per_node = static_cast<std::uint32_t>(
+          std::strtoul(value(), nullptr, 10));
+    } else if (arg == "--repeat") {
+      repeat = std::atoi(value());
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(value(), nullptr, 0);
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<Sample> samples;
+  for (const std::size_t n : node_counts) {
+    samples.push_back(run_one<HlsCluster>("hls", n, spec, repeat));
+    samples.push_back(
+        run_one<NaimiCluster>("naimi-pure", n, spec, repeat, true));
+  }
+
+  if (json) {
+    emit_json(std::cout, samples);
+    return 0;
+  }
+
+  std::cout << "Simulator throughput (wall clock; best of " << repeat
+            << " runs, fig5 workload, seed=" << spec.seed << ")\n\n";
+  TablePrinter table({"protocol", "nodes", "wall ms", "events", "events/sec",
+                      "acquires/sec"});
+  for (const Sample& s : samples) {
+    table.row({s.protocol, std::to_string(s.nodes),
+               TablePrinter::num(s.wall_ms, 1), std::to_string(s.events),
+               TablePrinter::num(s.events_per_sec(), 0),
+               TablePrinter::num(s.acquires_per_sec(), 0)});
+  }
+  table.print(std::cout);
+  return 0;
+}

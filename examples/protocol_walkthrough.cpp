@@ -29,10 +29,9 @@ class Bus {
   class Port final : public Transport {
    public:
     Port(Bus& bus, NodeId self) : bus_(bus), self_(self) {}
-    void send(NodeId to, const Message& m) override {
-      Message copy = m;
-      copy.from = self_;
-      bus_.queue_.push_back({to, std::move(copy)});
+    void send(NodeId to, Message m) override {
+      m.from = self_;
+      bus_.queue_.push_back({to, std::move(m)});
     }
 
    private:

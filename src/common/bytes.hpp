@@ -13,6 +13,10 @@ namespace hlock {
 /// Append-only byte sink.
 class ByteWriter {
  public:
+  /// Pre-size the buffer when the frame size is known (message codecs
+  /// compute it arithmetically via encoded_size()).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);

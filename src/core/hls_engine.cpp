@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace hlock::core {
 
@@ -33,16 +34,28 @@ HlsEngine::HlsEngine(LockId lock, NodeId self, NodeId initial_token_holder,
 // Derived state
 // ---------------------------------------------------------------------------
 
-Mode HlsEngine::held_mode() const {
-  Mode m = kNone;
-  for (const auto& [id, mode] : holds_) m = strongest(m, mode);
+Mode HlsEngine::strongest_counted(
+    const std::array<std::uint32_t, kModeCount>& counts, Mode base,
+    Mode exclude_one) {
+  // kRealModes is in strength order, so folding with strongest() yields
+  // the same result (including the U-before-IW tie pick) as scanning the
+  // backing map did. `exclude_one` removes a single known entry's
+  // contribution without materializing a copy of the map.
+  Mode m = base;
+  for (const Mode r : kRealModes) {
+    std::uint32_t c = counts[static_cast<int>(r)];
+    if (r == exclude_one && c > 0) --c;
+    if (c != 0) m = strongest(m, r);
+  }
   return m;
 }
 
+Mode HlsEngine::held_mode() const {
+  return strongest_counted(hold_mode_count_, kNone);
+}
+
 Mode HlsEngine::children_mode() const {
-  Mode m = kNone;
-  for (const auto& [child, mode] : children_) m = strongest(m, mode);
-  return m;
+  return strongest_counted(child_mode_count_, kNone);
 }
 
 Mode HlsEngine::owned_mode() const {
@@ -50,17 +63,61 @@ Mode HlsEngine::owned_mode() const {
 }
 
 Mode HlsEngine::owned_mode_excluding_child(NodeId child) const {
-  Mode m = held_mode();
-  for (const auto& [c, mode] : children_)
-    if (c != child) m = strongest(m, mode);
-  return m;
+  const auto it = children_.find(child);
+  const Mode excluded = it == children_.end() ? kNone : it->second;
+  return strongest_counted(child_mode_count_, held_mode(), excluded);
 }
 
 Mode HlsEngine::owned_mode_excluding_hold(RequestId id) const {
-  Mode m = children_mode();
-  for (const auto& [h, mode] : holds_)
-    if (h != id) m = strongest(m, mode);
-  return m;
+  const auto it = holds_.find(id);
+  const Mode excluded = it == holds_.end() ? kNone : it->second;
+  return strongest_counted(hold_mode_count_, children_mode(), excluded);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate-maintaining mutators
+// ---------------------------------------------------------------------------
+
+void HlsEngine::set_child(NodeId child, Mode mode) {
+  freeze_sync_needed_ = true;
+  const auto [it, inserted] = children_.try_emplace(child, mode);
+  if (inserted) {
+    ++child_mode_count_[static_cast<int>(mode)];
+    return;
+  }
+  --child_mode_count_[static_cast<int>(it->second)];
+  ++child_mode_count_[static_cast<int>(mode)];
+  it->second = mode;
+}
+
+void HlsEngine::erase_child(NodeId child) {
+  freeze_sync_needed_ = true;
+  const auto it = children_.find(child);
+  if (it == children_.end()) return;
+  --child_mode_count_[static_cast<int>(it->second)];
+  children_.erase(it);
+}
+
+void HlsEngine::clear_children() {
+  freeze_sync_needed_ = true;
+  children_.clear();
+  child_mode_count_.fill(0);
+}
+
+void HlsEngine::set_hold(RequestId id, Mode mode) {
+  const auto [it, inserted] = holds_.try_emplace(id, mode);
+  if (inserted) {
+    ++hold_mode_count_[static_cast<int>(mode)];
+    return;
+  }
+  --hold_mode_count_[static_cast<int>(it->second)];
+  ++hold_mode_count_[static_cast<int>(mode)];
+  it->second = mode;
+}
+
+void HlsEngine::erase_hold(std::map<RequestId, Mode>::iterator it) {
+  --hold_mode_count_[static_cast<int>(it->second)];
+  holds_.erase(it);
 }
 
 RequestId HlsEngine::fresh_request_id() {
@@ -72,7 +129,7 @@ void HlsEngine::send(NodeId to, Message m) {
   m.lock = lock_;
   m.from = self_;
   m.view = view_;
-  transport_.send(to, m);
+  transport_.send(to, std::move(m));
 }
 
 // ---------------------------------------------------------------------------
@@ -104,7 +161,7 @@ void HlsEngine::start_local_request(PendingLocal req) {
     // Rule 7. The hold stays U throughout; no release happens.
     upgrading_hold_ = req.id;
     if (has_token_ && owned_mode_excluding_hold(req.id) == kNone) {
-      holds_[req.id] = Mode::kW;
+      set_hold(req.id, Mode::kW);
       upgrading_hold_.reset();
       if (callbacks_.on_upgraded) callbacks_.on_upgraded(req.id);
       return;
@@ -162,11 +219,11 @@ void HlsEngine::admit_local(RequestId id, Mode mode) {
   if (cancelled_.erase(id) > 0) {
     // Cancelled while in flight: the grant is accounted and immediately
     // released, with no application callback.
-    holds_[id] = mode;
+    set_hold(id, mode);
     unlock(id);
     return;
   }
-  holds_[id] = mode;
+  set_hold(id, mode);
   HLOCK_LOG(kTrace, "node " << self_ << " lock " << lock_ << " acquired "
                             << mode << " locally");
   if (callbacks_.on_acquired) callbacks_.on_acquired(id, mode);
@@ -223,7 +280,7 @@ void HlsEngine::downgrade(RequestId id, Mode mode) {
   if (!safe_downgrade(it->second, mode))
     throw std::logic_error("not a safe downgrade");
   const Mode owned_before = owned_mode();
-  it->second = mode;
+  set_hold(id, mode);
 
   if (has_token_) {
     check_queue_token();
@@ -244,7 +301,7 @@ void HlsEngine::unlock(RequestId id) {
   if (upgrading_hold_ == id)
     throw std::logic_error("unlock of a hold with an upgrade in flight");
   const Mode owned_before = owned_mode();
-  holds_.erase(it);
+  erase_hold(it);
 
   if (has_token_) {
     check_queue_token();
@@ -288,7 +345,7 @@ void HlsEngine::resolve_pending_with_grant(Mode mode) {
   const PendingLocal req = *pending_;
   pending_.reset();
   if (req.upgrade) {
-    holds_[req.id] = Mode::kW;
+    set_hold(req.id, Mode::kW);
     upgrading_hold_.reset();
     if (callbacks_.on_upgraded) callbacks_.on_upgraded(req.id);
   } else {
@@ -358,7 +415,7 @@ void HlsEngine::leave(NodeId successor_if_root) {
     r.req.requester = successor;
     send(child, r);
   }
-  children_.clear();
+  clear_children();
   sent_frozen_.clear();
 
   if (has_token_) {
@@ -367,7 +424,7 @@ void HlsEngine::leave(NodeId successor_if_root) {
     h.queue.assign(queue_.begin(), queue_.end());
     queue_.clear();
     has_token_ = false;
-    send(successor, h);
+    send(successor, std::move(h));
   } else {
     // Requests we queued behind our (now resolved) pending: forward them
     // toward the root before going dark.
@@ -407,7 +464,7 @@ void HlsEngine::begin_recovery(std::uint32_t new_view, NodeId new_root,
 
   // Tree state is rebuilt from scratch; local intent (holds, pending,
   // backlog) survives.
-  children_.clear();
+  clear_children();
   sent_frozen_.clear();
   queue_.clear();
   frozen_.clear();
@@ -464,7 +521,7 @@ void HlsEngine::handle_departed(const Message& m) {
     case MsgKind::kHandoff: {
       // A cascading leave picked us as successor after we left ourselves.
       Message fwd = m;
-      send(parent_, fwd);
+      send(parent_, std::move(fwd));
       return;
     }
     case MsgKind::kAttach: {
@@ -506,7 +563,7 @@ void HlsEngine::handle_attach(const Message& m) {
   const bool barrier_open = !recovery_waiting_.empty();
   recovery_waiting_.erase(m.from);
   if (m.mode != kNone) {
-    children_[m.from] = m.mode;  // authoritative snapshot from the child
+    set_child(m.from, m.mode);   // authoritative snapshot from the child
     sent_frozen_.erase(m.from);  // unknown; recomputed on the next push
   }
   if (barrier_open && !recovery_waiting_.empty()) return;  // still waiting
@@ -670,8 +727,9 @@ void HlsEngine::enqueue(const QueuedRequest& q) {
 }
 
 void HlsEngine::grant_copy(const QueuedRequest& q) {
-  auto& entry = children_[q.requester];
-  entry = strongest(entry, q.mode);
+  const auto it = children_.find(q.requester);
+  const Mode prior = it == children_.end() ? kNone : it->second;
+  set_child(q.requester, strongest(prior, q.mode));
   sent_frozen_[q.requester] = frozen_;
   Message g;
   g.kind = MsgKind::kGrant;
@@ -682,7 +740,7 @@ void HlsEngine::grant_copy(const QueuedRequest& q) {
 }
 
 void HlsEngine::transfer_token(const QueuedRequest& q) {
-  children_.erase(q.requester);
+  erase_child(q.requester);
   sent_frozen_.erase(q.requester);
   const Mode remaining = owned_mode();
 
@@ -698,10 +756,13 @@ void HlsEngine::transfer_token(const QueuedRequest& q) {
   // We are a plain copyset member now; the new root owns freezing. Clear
   // our set and un-freeze our subtree — the new root re-freezes potential
   // granters from the merged queue it just received.
-  frozen_.clear();
+  if (!frozen_.empty()) {
+    frozen_.clear();
+    freeze_sync_needed_ = true;
+  }
   push_freeze_updates();
 
-  send(q.requester, t);
+  send(q.requester, std::move(t));
 }
 
 void HlsEngine::handle_grant(const Message& m) {
@@ -712,8 +773,9 @@ void HlsEngine::handle_grant(const Message& m) {
   detach_from_old_parent(m.from);
   parent_ = m.from;
   grants_received_[m.from] = m.grant_seq;
-  if (opts_.enable_freezing) {
+  if (opts_.enable_freezing && !(frozen_ == m.frozen)) {
     frozen_ = m.frozen;
+    freeze_sync_needed_ = true;
   }
   resolve_pending_with_grant(m.mode);
   check_queue_nontoken();
@@ -730,7 +792,7 @@ void HlsEngine::handle_token(const Message& m) {
   has_token_ = true;
   parent_ = NodeId::invalid();
   if (m.sender_owned != kNone) {
-    children_[m.from] = m.sender_owned;
+    set_child(m.from, m.sender_owned);
   }
 
   // Merge the shipped queue with anything we queued while non-token,
@@ -791,20 +853,19 @@ void HlsEngine::handle_release(const Message& m) {
   }
   const Mode owned_before = owned_mode();
   if (m.mode == kNone) {
-    children_.erase(m.from);
+    erase_child(m.from);
     sent_frozen_.erase(m.from);
   } else {
     // A weakening report may only *update* a live registration. If the
     // child is not registered any more, we already handed it the token
     // (transfer erased it) while this release was in flight; re-creating
     // the entry would forge a phantom ownership edge back to the new root.
-    const auto it = children_.find(m.from);
-    if (it == children_.end()) {
+    if (children_.find(m.from) == children_.end()) {
       HLOCK_LOG(kDebug, "node " << self_ << " ignores release from "
                                 << m.from << ": not a child");
       return;
     }
-    it->second = m.mode;
+    set_child(m.from, m.mode);
   }
 
   if (has_token_) {
@@ -829,9 +890,13 @@ void HlsEngine::handle_freeze(const Message& m) {
     // updates would ever reach us — adopting the set would leave it
     // dangling forever.
     frozen_.clear();
+    freeze_sync_needed_ = true;
     return;
   }
-  frozen_ = m.frozen;
+  if (!(frozen_ == m.frozen)) {
+    frozen_ = m.frozen;
+    freeze_sync_needed_ = true;
+  }
   push_freeze_updates();
 }
 
@@ -899,6 +964,7 @@ void HlsEngine::check_queue_token() {
 }
 
 void HlsEngine::check_queue_nontoken() {
+  if (queue_.empty()) return;
   // Re-triage every queued request: grant what Rule 3.1 now allows, keep
   // what Table 2(a) still queues, forward the rest toward the root.
   std::deque<QueuedRequest> keep;
@@ -960,6 +1026,7 @@ void HlsEngine::propagate_release_if_needed(Mode owned_before) {
     // We left the copyset entirely; frozen-set upkeep no longer reaches us.
     frozen_.clear();
     sent_frozen_.clear();
+    freeze_sync_needed_ = true;
   }
 }
 
@@ -973,7 +1040,10 @@ void HlsEngine::recompute_frozen_token() {
   ModeSet fresh;
   const Mode mo = owned_mode();
   for (const QueuedRequest& q : queue_) fresh |= frozen_for(mo, q.mode);
-  frozen_ = fresh;
+  if (!(fresh == frozen_)) {
+    frozen_ = fresh;
+    freeze_sync_needed_ = true;
+  }
 }
 
 bool HlsEngine::is_potential_granter(Mode child_owned, ModeSet modes) const {
@@ -985,6 +1055,11 @@ bool HlsEngine::is_potential_granter(Mode child_owned, ModeSet modes) const {
 
 void HlsEngine::push_freeze_updates() {
   if (!opts_.enable_freezing) return;
+  // The last push left every child's sent set equal to its target, and the
+  // inputs (children_, frozen_, sent_frozen_) are unchanged since — the
+  // scan below would send nothing.
+  if (!freeze_sync_needed_) return;
+  freeze_sync_needed_ = false;
   for (const auto& [child, mode] : children_) {
     ModeSet target;
     if (is_potential_granter(mode, frozen_)) target = frozen_;

@@ -27,6 +27,7 @@
 // place). Both the simulator and the TCP node runner obey this.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -208,12 +209,26 @@ class HlsEngine {
     std::uint8_t priority{0};
   };
 
-  // -- derived state helpers --
+  // -- derived state helpers (all O(1): computed from the per-mode count
+  // arrays maintained incrementally by the set_/erase_ mutators below,
+  // instead of rescanning children_/holds_ on every message) --
   [[nodiscard]] Mode children_mode() const;
   /// Owned mode with one child's contribution removed (upgrade checks).
   [[nodiscard]] Mode owned_mode_excluding_child(NodeId child) const;
   /// Owned mode with one local hold removed (token-side upgrade check).
   [[nodiscard]] Mode owned_mode_excluding_hold(RequestId id) const;
+
+  // -- aggregate-maintaining mutators (the ONLY places children_ / holds_
+  // may be modified, so the count arrays never drift) --
+  void set_child(NodeId child, Mode mode);
+  void erase_child(NodeId child);
+  void clear_children();
+  void set_hold(RequestId id, Mode mode);
+  void erase_hold(std::map<RequestId, Mode>::iterator it);
+  /// Strongest mode with a nonzero count, starting the fold at `base`.
+  [[nodiscard]] static Mode strongest_counted(
+      const std::array<std::uint32_t, kModeCount>& counts, Mode base,
+      Mode exclude_one = Mode::kNone);
   [[nodiscard]] Mode pending_mode() const {
     return pending_ ? pending_->mode : Mode::kNone;
   }
@@ -278,15 +293,24 @@ class HlsEngine {
   bool has_token_;
   NodeId parent_;  ///< invalid while root
   std::map<NodeId, Mode> children_;
+  /// How many children currently own each mode (incremental aggregate
+  /// behind the O(1) children_mode() / owned_mode_excluding_child()).
+  std::array<std::uint32_t, kModeCount> child_mode_count_{};
 
   // -- lock state --
   std::map<RequestId, Mode> holds_;
+  /// How many local holds are in each mode (same idea as above).
+  std::array<std::uint32_t, kModeCount> hold_mode_count_{};
   std::optional<PendingLocal> pending_;
   std::deque<PendingLocal> backlog_;
   std::deque<QueuedRequest> queue_;
   ModeSet frozen_;
   /// Last frozen set pushed to each child, to send deltas only.
   std::map<NodeId, ModeSet> sent_frozen_;
+  /// Set whenever children_ / frozen_ / sent_frozen_ change; lets
+  /// push_freeze_updates() skip its full-children scan on the (common)
+  /// calls where nothing it depends on moved since the last push.
+  bool freeze_sync_needed_{true};
   /// Grants sent per child / received per parent — releases echo the
   /// received count so a release that crossed a newer grant in flight can
   /// be recognized as stale and dropped (see Message::grant_seq).

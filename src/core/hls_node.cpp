@@ -21,16 +21,24 @@ HlsEngine& HlsNode::add_lock(LockId lock, NodeId initial_holder,
                                   opts_, std::move(cbs), initial_parent);
   auto [it, inserted] = engines_.emplace(lock, std::move(engine));
   if (!inserted) throw std::logic_error("lock added twice");
+  if (lock.value < kDenseLockLimit) {
+    if (lock.value >= dense_.size()) dense_.resize(lock.value + 1, nullptr);
+    dense_[lock.value] = it->second.get();
+  }
   return *it->second;
 }
 
 HlsEngine& HlsNode::engine(LockId lock) {
+  if (lock.value < dense_.size() && dense_[lock.value] != nullptr)
+    return *dense_[lock.value];
   const auto it = engines_.find(lock);
   if (it == engines_.end()) throw std::logic_error("unknown lock");
   return *it->second;
 }
 
 const HlsEngine* HlsNode::find(LockId lock) const {
+  if (lock.value < dense_.size() && dense_[lock.value] != nullptr)
+    return dense_[lock.value];
   const auto it = engines_.find(lock);
   return it == engines_.end() ? nullptr : it->second.get();
 }

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/hls_engine.hpp"
@@ -46,6 +47,11 @@ class HlsNode {
   AcquiredFn on_acquired_;
   UpgradedFn on_upgraded_;
   std::map<LockId, std::unique_ptr<HlsEngine>> engines_;
+  /// O(1) lookup cache for small lock ids (the common, dense case): the
+  /// engine() map find is on the per-message hot path. Ids past the cap
+  /// fall back to the map.
+  static constexpr std::uint32_t kDenseLockLimit = 1u << 20;
+  std::vector<HlsEngine*> dense_;
 };
 
 }  // namespace hlock::core

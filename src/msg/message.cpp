@@ -47,8 +47,7 @@ QueuedRequest get_queued(ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> encode(const Message& m) {
-  ByteWriter w;
+void encode_into(ByteWriter& w, const Message& m) {
   w.u8(static_cast<std::uint8_t>(m.kind));
   w.u32(m.lock.value);
   w.u32(m.from.value);
@@ -61,6 +60,12 @@ std::vector<std::uint8_t> encode(const Message& m) {
   w.u64(m.grant_seq);
   w.u64(m.rel_seq);
   w.u32(m.view);
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  ByteWriter w;
+  w.reserve(encoded_size(m));
+  encode_into(w, m);
   return w.take();
 }
 

@@ -37,6 +37,9 @@ enum class MsgKind : std::uint8_t {
   kHandoff = 10,  ///< leaver -> successor: unsolicited token + queue
 };
 
+/// Number of distinct MsgKind values (array-counter dimension).
+inline constexpr std::size_t kMsgKindCount = 11;
+
 const char* to_string(MsgKind k);
 
 /// A lock request waiting in some node's local queue. Requests carry
@@ -106,8 +109,24 @@ struct Message {
   friend bool operator==(const Message&, const Message&) = default;
 };
 
+/// Wire size of the fixed (non-queue) part of every encoded Message.
+inline constexpr std::size_t kMessageFixedBytes = 55;
+/// Wire size of one QueuedRequest entry.
+inline constexpr std::size_t kQueuedRequestBytes = 19;
+
+/// Exact value of encode(m).size(), computed arithmetically — the codec
+/// is fixed-width except for the queue, so no serialization is needed to
+/// account wire bytes. A fuzz test cross-checks this against encode().
+inline std::size_t encoded_size(const Message& m) {
+  return kMessageFixedBytes + kQueuedRequestBytes * m.queue.size();
+}
+
 /// Serialize to a self-contained frame (no outer length prefix).
 std::vector<std::uint8_t> encode(const Message& m);
+/// Append the encoding of `m` to `w` (exactly encoded_size(m) bytes); the
+/// TCP framing layer uses this to build length-prefixed frames in one
+/// buffer.
+void encode_into(ByteWriter& w, const Message& m);
 /// Parse a frame produced by encode(). Throws DecodeError on malformed
 /// input (including trailing garbage).
 Message decode(const std::uint8_t* data, std::size_t size);
@@ -121,8 +140,9 @@ class Transport {
  public:
   virtual ~Transport() = default;
   /// Queue `m` for delivery to `to`. Must not re-enter the engine
-  /// synchronously (delivery happens on a later event).
-  virtual void send(NodeId to, const Message& m) = 0;
+  /// synchronously (delivery happens on a later event). Takes the message
+  /// by value so senders can move it all the way into the delivery event.
+  virtual void send(NodeId to, Message m) = 0;
 };
 
 }  // namespace hlock

@@ -1,6 +1,7 @@
 #include "naimi/naimi_engine.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace hlock::naimi {
 
@@ -20,7 +21,7 @@ NaimiEngine::NaimiEngine(LockId lock, NodeId self, NodeId initial_token_holder,
 void NaimiEngine::send(NodeId to, Message m) {
   m.lock = lock_;
   m.from = self_;
-  transport_.send(to, m);
+  transport_.send(to, std::move(m));
 }
 
 RequestId NaimiEngine::request() {

@@ -5,16 +5,15 @@
 namespace hlock::net {
 
 std::vector<std::uint8_t> frame(const Message& m) {
-  const std::vector<std::uint8_t> payload = encode(m);
-  std::vector<std::uint8_t> out;
-  out.reserve(payload.size() + 4);
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  out.push_back(static_cast<std::uint8_t>(len));
-  out.push_back(static_cast<std::uint8_t>(len >> 8));
-  out.push_back(static_cast<std::uint8_t>(len >> 16));
-  out.push_back(static_cast<std::uint8_t>(len >> 24));
-  out.insert(out.end(), payload.begin(), payload.end());
-  return out;
+  // encoded_size() is exact, so prefix and payload go into one buffer
+  // with a single allocation (ByteWriter::u32 is little-endian, matching
+  // the prefix FrameDecoder::next expects).
+  const std::size_t payload = encoded_size(m);
+  ByteWriter w;
+  w.reserve(payload + 4);
+  w.u32(static_cast<std::uint32_t>(payload));
+  encode_into(w, m);
+  return w.take();
 }
 
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {

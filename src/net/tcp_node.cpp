@@ -155,10 +155,9 @@ void TcpNode::send_hello(Connection& c) {
   flush(c);
 }
 
-void TcpNode::send(NodeId to, const Message& m) {
-  Message copy = m;
-  copy.from = self_;
-  loop_.post([this, to, msg = std::move(copy)] {
+void TcpNode::send(NodeId to, Message m) {
+  m.from = self_;
+  loop_.post([this, to, msg = std::move(m)] {
     Connection* c = conn_for_peer(to);
     if (c == nullptr) {
       if (to < self_ && peers_.count(to) != 0) {
@@ -182,20 +181,27 @@ TcpNode::Connection* TcpNode::conn_for_peer(NodeId peer) {
   return cit == conns_.end() ? nullptr : cit->second.get();
 }
 
-void TcpNode::queue_frame(Connection& c, std::vector<std::uint8_t> bytes) {
+void TcpNode::queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes) {
+  // Reclaim the consumed prefix before it dominates the buffer, so the
+  // outbox stays a flat append-only vector between flushes.
+  if (c.outbox_pos == c.outbox.size()) {
+    c.outbox.clear();
+    c.outbox_pos = 0;
+  } else if (c.outbox_pos > 65536 && c.outbox_pos * 2 > c.outbox.size()) {
+    c.outbox.erase(c.outbox.begin(),
+                   c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_pos));
+    c.outbox_pos = 0;
+  }
   c.outbox.insert(c.outbox.end(), bytes.begin(), bytes.end());
 }
 
 void TcpNode::flush(Connection& c) {
-  while (!c.outbox.empty()) {
-    // Coalesce the deque front into one contiguous chunk.
-    std::vector<std::uint8_t> chunk(c.outbox.begin(),
-                                    c.outbox.begin() +
-                                        static_cast<std::ptrdiff_t>(std::min(
-                                            c.outbox.size(), std::size_t{65536})));
-    const ssize_t n = ::send(c.fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+  while (c.outbox_pos < c.outbox.size()) {
+    // One contiguous write of everything pending.
+    const ssize_t n = ::send(c.fd, c.outbox.data() + c.outbox_pos,
+                             c.outbox.size() - c.outbox_pos, MSG_NOSIGNAL);
     if (n > 0) {
-      c.outbox.erase(c.outbox.begin(), c.outbox.begin() + n);
+      c.outbox_pos += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -210,7 +216,9 @@ void TcpNode::flush(Connection& c) {
     close_conn(c.fd);
     return;
   }
-  // Outbox drained: stop watching POLLOUT.
+  // Outbox drained: release the buffer cursor and stop watching POLLOUT.
+  c.outbox.clear();
+  c.outbox_pos = 0;
   const int fd = c.fd;
   loop_.watch(fd, POLLIN,
               [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -51,7 +50,7 @@ class TcpNode {
   class NodeTransport final : public Transport {
    public:
     explicit NodeTransport(TcpNode& node) : node_(node) {}
-    void send(NodeId to, const Message& m) override { node_.send(to, m); }
+    void send(NodeId to, Message m) override { node_.send(to, std::move(m)); }
 
    private:
     TcpNode& node_;
@@ -59,7 +58,7 @@ class TcpNode {
   [[nodiscard]] Transport& transport() { return transport_; }
 
   /// Enqueue `m` for delivery to `to` (connects lazily if needed).
-  void send(NodeId to, const Message& m);
+  void send(NodeId to, Message m);
 
   /// Messages delivered so far (loop thread increments; approximate from
   /// other threads).
@@ -70,7 +69,10 @@ class TcpNode {
     int fd{-1};
     NodeId peer{};           ///< invalid until hello received (inbound)
     FrameDecoder decoder;
-    std::deque<std::uint8_t> outbox;
+    /// Pending output, contiguous so each readiness event needs exactly
+    /// one write: bytes [outbox_pos, outbox.size()) are still unsent.
+    std::vector<std::uint8_t> outbox;
+    std::size_t outbox_pos{0};
     bool hello_sent{false};
   };
 
@@ -80,7 +82,7 @@ class TcpNode {
   void close_conn(int fd);
   Connection* conn_for_peer(NodeId peer);
   void dial(NodeId peer);
-  void queue_frame(Connection& c, std::vector<std::uint8_t> bytes);
+  void queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes);
   void send_hello(Connection& c);
   void handle_frame(Connection& c, const Message& m);
 

@@ -12,13 +12,12 @@ void ReliableTransport::set_deliver(
   deliver_ = std::move(deliver);
 }
 
-void ReliableTransport::send(NodeId to, const Message& m) {
+void ReliableTransport::send(NodeId to, Message m) {
   PeerState& peer = peers_[to];
-  Message sequenced = m;
-  sequenced.rel_seq = peer.next_out++;
-  peer.unacked.emplace(sequenced.rel_seq, sequenced);
-  lower_.send(to, sequenced);
-  arm_retransmit(to, sequenced.rel_seq);
+  m.rel_seq = peer.next_out++;
+  const auto it = peer.unacked.emplace(m.rel_seq, std::move(m)).first;
+  lower_.send(to, it->second);
+  arm_retransmit(to, it->first);
 }
 
 void ReliableTransport::arm_retransmit(NodeId to, std::uint64_t seq) {

@@ -34,7 +34,7 @@ class ReliableTransport final : public Transport {
 
   /// Outgoing path: stamps a fresh sequence number and records the message
   /// for retransmission until acked.
-  void send(NodeId to, const Message& m) override;
+  void send(NodeId to, Message m) override;
 
   /// Feed every raw message received from `lower`'s network here.
   void on_receive(const Message& m);

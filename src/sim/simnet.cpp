@@ -13,8 +13,23 @@ SimNetwork::SimNetwork(Simulator& simulator,
 
 void SimNetwork::register_node(NodeId node,
                                std::function<void(const Message&)> handler) {
-  if (!handlers_.emplace(node, std::move(handler)).second)
-    throw std::logic_error("node registered twice");
+  if (!node.valid()) throw std::invalid_argument("invalid node id");
+  const std::size_t idx = node.value;
+  if (idx >= handlers_.size()) handlers_.resize(idx + 1);
+  if (handlers_[idx]) throw std::logic_error("node registered twice");
+  handlers_[idx] = std::move(handler);
+  if (idx >= stride_) grow_stride(idx + 1);
+}
+
+void SimNetwork::grow_stride(std::size_t n) {
+  std::vector<TimePoint> fresh(n * n, TimePoint{0});
+  for (std::size_t f = 0; f < stride_; ++f) {
+    for (std::size_t t = 0; t < stride_; ++t) {
+      fresh[f * n + t] = channel_clear_[f * stride_ + t];
+    }
+  }
+  channel_clear_ = std::move(fresh);
+  stride_ = n;
 }
 
 void SimNetwork::set_lossy(double rate) {
@@ -24,12 +39,23 @@ void SimNetwork::set_lossy(double rate) {
   fifo_channels_ = rate == 0.0;
 }
 
-void SimNetwork::send(NodeId from, NodeId to, const Message& m) {
-  if (handlers_.find(to) == handlers_.end())
+CounterMap SimNetwork::message_counts() const {
+  CounterMap out;
+  for (std::size_t k = 0; k < kMsgKindCount; ++k) {
+    if (counts_[k] != 0)
+      out.inc(to_string(static_cast<MsgKind>(k)), counts_[k]);
+  }
+  return out;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, Message m) {
+  if (to.value >= handlers_.size() || !handlers_[to.value])
     throw std::logic_error("send to unregistered node");
-  counts_.inc(to_string(m.kind));
+  if (!from.valid()) throw std::invalid_argument("invalid sender id");
+  const auto kind_idx = static_cast<std::size_t>(m.kind);
+  if (kind_idx < kMsgKindCount) ++counts_[kind_idx];
   ++sent_;
-  bytes_ += encode(m).size() + 4;  // payload + the TCP framing prefix
+  bytes_ += encoded_size(m) + 4;  // payload + the TCP framing prefix
 
   const bool dropped =
       loss_rate_ > 0.0 && rng_.next_double() < loss_rate_;
@@ -42,18 +68,23 @@ void SimNetwork::send(NodeId from, NodeId to, const Message& m) {
   TimePoint arrive = sim_.now() + latency_->sample(rng_);
   if (fifo_channels_) {
     // Per-channel FIFO: a message may not overtake an earlier one on the
-    // same (from, to) pair.
-    auto& clear_at = channel_clear_[{from, to}];
+    // same (from, to) pair. Senders need not be registered receivers
+    // (tests inject from outside ids), so grow on demand.
+    if (from.value >= stride_) grow_stride(from.value + 1);
+    TimePoint& clear_at = channel_clear_[from.value * stride_ + to.value];
     if (arrive < clear_at) arrive = clear_at;
     clear_at = arrive;
   }
 
-  Message copy = m;
-  copy.from = from;
-  sim_.schedule_at(arrive, [this, from, to, msg = std::move(copy)]() {
-    if (on_deliver) on_deliver(from, to, msg);
-    handlers_.at(to)(msg);
-  });
+  m.from = from;
+  sim_.schedule_deliver_at(arrive, &SimNetwork::deliver_event, this, from, to,
+                           std::move(m));
+}
+
+void SimNetwork::deliver_event(void* ctx, NodeId from, NodeId to, Message& m) {
+  auto* net = static_cast<SimNetwork*>(ctx);
+  if (net->on_deliver) net->on_deliver(from, to, m);
+  net->handlers_[to.value](m);
 }
 
 }  // namespace hlock::sim

@@ -1,11 +1,17 @@
 // Simulated point-to-point network: full-duplex, switch with disjoint
 // parallel paths (as in the paper's testbed), per-message random latency,
 // per-(from,to) FIFO channel ordering.
+//
+// Hot-path design: node ids in a cluster are dense (0..n-1), so handler
+// dispatch and the per-channel FIFO clock are flat vectors indexed by id
+// instead of std::map lookups; per-kind message counts are a fixed array
+// indexed by MsgKind; and wire bytes are accounted arithmetically via
+// encoded_size() instead of serializing every message.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -33,7 +39,7 @@ class SimNetwork {
   /// Send `m` from `from` to `to`; delivered after a sampled latency.
   /// Messages on the same (from, to) channel are never reordered, matching
   /// TCP semantics on the paper's testbed.
-  void send(NodeId from, NodeId to, const Message& m);
+  void send(NodeId from, NodeId to, Message m);
 
   /// Switch to lossy-datagram mode: each message is dropped independently
   /// with probability `rate`, and per-channel FIFO ordering is no longer
@@ -43,7 +49,14 @@ class SimNetwork {
 
   [[nodiscard]] std::uint64_t messages_dropped() const { return dropped_; }
 
-  [[nodiscard]] const CounterMap& message_counts() const { return counts_; }
+  /// Per-kind counts as a named CounterMap (built on demand from the
+  /// internal array; kinds never sent are omitted, and get() on a missing
+  /// key returns 0 as before).
+  [[nodiscard]] CounterMap message_counts() const;
+  /// O(1) per-kind count.
+  [[nodiscard]] std::uint64_t message_count(MsgKind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
   /// Serialized size of everything sent (wire bytes, as the real codec
   /// would frame it), including dropped messages.
@@ -58,13 +71,22 @@ class SimNetwork {
       on_send;
 
  private:
+  /// Simulator deliver-event trampoline (ctx is the SimNetwork).
+  static void deliver_event(void* ctx, NodeId from, NodeId to, Message& m);
+  /// Grow the channel-clock matrix to cover ids < n.
+  void grow_stride(std::size_t n);
+
   Simulator& sim_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
-  std::map<NodeId, std::function<void(const Message&)>> handlers_;
-  /// Earliest time the next message on each channel may arrive (FIFO).
-  std::map<std::pair<NodeId, NodeId>, TimePoint> channel_clear_;
-  CounterMap counts_;
+  /// Receive handlers, indexed by NodeId value (empty = unregistered).
+  std::vector<std::function<void(const Message&)>> handlers_;
+  /// Earliest time the next message on channel (from, to) may arrive
+  /// (FIFO): a stride_ x stride_ row-major matrix indexed by id.
+  std::vector<TimePoint> channel_clear_;
+  std::size_t stride_{0};
+  /// Per-kind send counts, indexed by MsgKind.
+  std::array<std::uint64_t, kMsgKindCount> counts_{};
   std::uint64_t sent_{0};
   double loss_rate_{0.0};
   bool fifo_channels_{true};
@@ -76,7 +98,9 @@ class SimNetwork {
 class SimTransport final : public Transport {
  public:
   SimTransport(SimNetwork& net, NodeId self) : net_(net), self_(self) {}
-  void send(NodeId to, const Message& m) override { net_.send(self_, to, m); }
+  void send(NodeId to, Message m) override {
+    net_.send(self_, to, std::move(m));
+  }
 
  private:
   SimNetwork& net_;

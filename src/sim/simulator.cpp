@@ -1,30 +1,55 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace hlock::sim {
 
+void Simulator::push_event(Event ev) {
+  if (ev.t < now_) throw std::logic_error("scheduling into the past");
+  ev.seq = next_seq_++;
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 void Simulator::schedule_at(TimePoint t, EventFn fn) {
-  if (t < now_) throw std::logic_error("scheduling into the past");
-  heap_.push(Event{t, next_seq_++, std::move(fn)});
+  Event ev;
+  ev.t = t;
+  ev.fn = std::move(fn);
+  push_event(std::move(ev));
+}
+
+void Simulator::schedule_deliver_at(TimePoint t, DeliverFn fn, void* ctx,
+                                    NodeId from, NodeId to, Message msg) {
+  Event ev;
+  ev.t = t;
+  ev.deliver = fn;
+  ev.ctx = ctx;
+  ev.from = from;
+  ev.to = to;
+  ev.msg = std::move(msg);
+  push_event(std::move(ev));
 }
 
 bool Simulator::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small struct members and pop before running.
-  Event ev = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.t;
   ++processed_;
-  ev.fn();
+  if (ev.deliver != nullptr) {
+    ev.deliver(ev.ctx, ev.from, ev.to, ev.msg);
+  } else {
+    ev.fn();
+  }
   if (post_event_hook) post_event_hook();
   return true;
 }
 
 void Simulator::run_until(TimePoint deadline) {
-  while (!heap_.empty() && heap_.top().t <= deadline) step();
+  while (!heap_.empty() && heap_.front().t <= deadline) step();
   if (now_ < deadline) now_ = deadline;
 }
 

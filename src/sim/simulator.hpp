@@ -5,14 +5,23 @@
 // a virtual-time event queue reproduces the reported metrics (messages per
 // request, latency as a factor of point-to-point latency) while letting a
 // single machine model 120 nodes deterministically.
+//
+// Hot-path design: message deliveries dominate the event mix, and a
+// std::function closure capturing a Message always heap-allocates. Events
+// therefore come in two shapes — a generic closure (timers, workload
+// drivers, whose small captures fit std::function's inline storage) and a
+// dedicated deliver variant (function pointer + context + inline Message)
+// that never allocates. The heap is an explicit binary heap over a
+// reserved std::vector, so steady-state scheduling does not allocate
+// either.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "msg/message.hpp"
 
 namespace hlock::sim {
 
@@ -21,11 +30,24 @@ namespace hlock::sim {
 class Simulator {
  public:
   using EventFn = std::function<void()>;
+  /// Deliver-event callback: plain function pointer + untyped context, so
+  /// the dominant event shape (message delivery) never heap-allocates.
+  using DeliverFn = void (*)(void* ctx, NodeId from, NodeId to, Message& m);
+
+  Simulator() { heap_.reserve(kInitialHeapCapacity); }
 
   /// Schedule `fn` at absolute virtual time `t` (>= now()).
   void schedule_at(TimePoint t, EventFn fn);
   /// Schedule `fn` `d` after the current virtual time.
   void schedule_after(Duration d, EventFn fn) { schedule_at(now_ + d, std::move(fn)); }
+  /// Schedule a message delivery at `t`: `fn(ctx, from, to, msg)` runs as
+  /// the event, with `msg` stored inline in the event (moved, not copied).
+  void schedule_deliver_at(TimePoint t, DeliverFn fn, void* ctx, NodeId from,
+                           NodeId to, Message msg);
+
+  /// Pre-size the event heap for the expected number of *concurrently*
+  /// outstanding events (not total events).
+  void reserve(std::size_t n) { heap_.reserve(n); }
 
   [[nodiscard]] TimePoint now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -43,10 +65,18 @@ class Simulator {
   std::function<void()> post_event_hook;
 
  private:
+  static constexpr std::size_t kInitialHeapCapacity = 1024;
+
   struct Event {
     TimePoint t;
     std::uint64_t seq;
-    EventFn fn;
+    EventFn fn;  ///< generic closure; empty for deliver events
+    // Deliver-event payload (used when `deliver` is non-null).
+    DeliverFn deliver{nullptr};
+    void* ctx{nullptr};
+    NodeId from{};
+    NodeId to{};
+    Message msg{};
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -55,7 +85,12 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  void push_event(Event ev);
+
+  /// Binary min-heap by (t, seq) via std::push_heap/std::pop_heap on a
+  /// reserved vector (std::priority_queue exposes neither reserve() nor a
+  /// non-const top() to move events out of).
+  std::vector<Event> heap_;
   TimePoint now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};

@@ -1,0 +1,87 @@
+// Bit-reproducibility of the simulator: the same seed must yield the same
+// message counts, wire bytes, per-kind breakdown, and final virtual time —
+// run-to-run within a build (Determinism.*) and across builds against
+// constants recorded from the seed revision (SeedRegression.*). The
+// regression half is the guard rail for hot-path optimizations: any
+// allocation or ordering change that alters behavior trips it.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.hpp"
+
+namespace hlock {
+namespace {
+
+using harness::ClusterConfig;
+using harness::ExperimentResult;
+using harness::HlsCluster;
+using harness::NaimiCluster;
+
+ClusterConfig fig5_config() {
+  ClusterConfig config;
+  config.nodes = 24;
+  config.spec.ops_per_node = 40;
+  return config;  // default fig5 workload mix, default seed
+}
+
+template <typename Cluster, typename... Extra>
+ExperimentResult run_once(const ClusterConfig& config, Extra... extra) {
+  Cluster cluster(config, extra...);
+  cluster.run();
+  return cluster.result();
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.lock_requests, b.lock_requests);
+  EXPECT_EQ(a.virtual_end, b.virtual_end);
+  EXPECT_EQ(a.messages_by_kind.all(), b.messages_by_kind.all());
+}
+
+TEST(Determinism, HlsSameSeedSameRun) {
+  const ClusterConfig config = fig5_config();
+  expect_identical(run_once<HlsCluster>(config), run_once<HlsCluster>(config));
+}
+
+TEST(Determinism, NaimiSameSeedSameRun) {
+  const ClusterConfig config = fig5_config();
+  expect_identical(run_once<NaimiCluster>(config, true),
+                   run_once<NaimiCluster>(config, true));
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  ClusterConfig config = fig5_config();
+  const ExperimentResult a = run_once<HlsCluster>(config);
+  config.spec.seed ^= 1;
+  const ExperimentResult b = run_once<HlsCluster>(config);
+  // Virtual time depends on every sampled latency; a one-bit seed change
+  // must perturb it (equal counts could coincide, time practically cannot).
+  EXPECT_NE(a.virtual_end, b.virtual_end);
+}
+
+// Constants recorded from the seed build (pre-optimization revision) at
+// n=24, ops_per_node=40, default seed. A mismatch means an "optimization"
+// changed observable behavior, not just speed.
+TEST(SeedRegression, HlsFig5Counts) {
+  const ExperimentResult r = run_once<HlsCluster>(fig5_config());
+  EXPECT_EQ(r.messages, 5151u);
+  EXPECT_EQ(r.wire_bytes, 322985u);
+  EXPECT_EQ(r.virtual_end, 86894413);
+  EXPECT_EQ(r.messages_by_kind.get("request"), 2252u);
+  EXPECT_EQ(r.messages_by_kind.get("grant"), 778u);
+  EXPECT_EQ(r.messages_by_kind.get("token"), 609u);
+  EXPECT_EQ(r.messages_by_kind.get("release"), 839u);
+  EXPECT_EQ(r.messages_by_kind.get("freeze"), 673u);
+}
+
+TEST(SeedRegression, NaimiFig5Counts) {
+  const ExperimentResult r = run_once<NaimiCluster>(fig5_config(), true);
+  EXPECT_EQ(r.messages, 3533u);
+  EXPECT_EQ(r.wire_bytes, 208447u);
+  EXPECT_EQ(r.virtual_end, 157215059);
+  EXPECT_EQ(r.messages_by_kind.get("naimi_request"), 2573u);
+  EXPECT_EQ(r.messages_by_kind.get("naimi_token"), 960u);
+}
+
+}  // namespace
+}  // namespace hlock

@@ -2,6 +2,8 @@
 // rejected; parameterized sweep across kinds and payload shapes.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "msg/message.hpp"
 
 namespace hlock {
@@ -93,6 +95,42 @@ TEST(Codec, RejectsBadModeByte) {
     }
   }
   EXPECT_GT(rejected, 0);
+}
+
+// encoded_size() is the arithmetic that SimNetwork uses for O(1) wire
+// accounting; it must agree with the codec byte-for-byte on every message
+// shape, or the simulated byte totals silently drift from the real wire.
+TEST(EncodedSize, MatchesCodecOnRandomizedMessages) {
+  std::mt19937_64 rng(0xe5c0dedULL);
+  std::uniform_int_distribution<std::uint32_t> node(0, 1u << 20);
+  std::uniform_int_distribution<std::uint64_t> u64(0, ~0ULL >> 8);
+  std::uniform_int_distribution<std::size_t> kind(0, kMsgKindCount - 1);
+  std::uniform_int_distribution<std::size_t> mode(0, kModeCount - 1);
+  std::uniform_int_distribution<std::size_t> queue_len(0, 100);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Message m;
+    m.kind = static_cast<MsgKind>(kind(rng));
+    m.lock = LockId{node(rng)};
+    m.from = NodeId{node(rng)};
+    m.req.requester = NodeId{node(rng)};
+    m.req.mode = static_cast<Mode>(mode(rng));
+    m.req.stamp = LamportStamp{u64(rng), NodeId{node(rng)}};
+    m.req.upgrade = (trial & 1) != 0;
+    m.req.priority = static_cast<std::uint8_t>(node(rng));
+    m.mode = static_cast<Mode>(mode(rng));
+    m.sender_owned = static_cast<Mode>(mode(rng));
+    m.grant_seq = u64(rng);
+    const std::size_t len = queue_len(rng);
+    for (std::size_t i = 0; i < len; ++i) {
+      m.queue.push_back(QueuedRequest{NodeId{node(rng)},
+                                      static_cast<Mode>(mode(rng)),
+                                      LamportStamp{u64(rng), NodeId{node(rng)}},
+                                      (i & 1) != 0});
+    }
+    ASSERT_EQ(encoded_size(m), encode(m).size())
+        << "trial " << trial << " kind " << static_cast<int>(m.kind)
+        << " queue " << len;
+  }
 }
 
 TEST(MsgKindNames, AllDistinct) {

@@ -22,12 +22,11 @@ class TestBus {
   class Port final : public Transport {
    public:
     Port(TestBus& bus, NodeId self) : bus_(bus), self_(self) {}
-    void send(NodeId to, const Message& m) override {
-      Message copy = m;
-      copy.from = self_;
-      bus_.queue_.push_back({self_, to, std::move(copy)});
-      ++bus_.total_sent_;
+    void send(NodeId to, Message m) override {
+      m.from = self_;
       bus_.by_kind_[m.kind]++;
+      bus_.queue_.push_back({self_, to, std::move(m)});
+      ++bus_.total_sent_;
     }
 
    private:
