@@ -9,15 +9,22 @@
 //   freezing off       — Rule 6 buys FIFO fairness; measure its price
 #include <iostream>
 
+#include "bench/cli.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hlock;
   using namespace hlock::harness;
   using core::EngineOptions;
 
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: ablations [--ops N] [--seed S] [--threads N] [--repeat N]\n"
+      "         [--no-memo]\n");
   workload::WorkloadSpec spec;
   spec.ops_per_node = 60;
+  bench::apply(cli, spec);
 
   struct Variant {
     const char* name;
@@ -38,14 +45,22 @@ int main() {
       {"eager releases", eager},
       {"no freezing", no_freeze},
   };
+  const std::size_t node_counts[] = {20, 60, 120};
 
-  for (const std::size_t n : {std::size_t{20}, std::size_t{60},
-                              std::size_t{120}}) {
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : node_counts)
+    for (const Variant& v : variants)
+      points.push_back(make_point(Protocol::kHls, n, spec, v.opts));
+  SweepRunner runner(bench::sweep_options(cli));
+  const auto results = runner.run(points);
+
+  std::size_t next = 0;
+  for (const std::size_t n : node_counts) {
     std::cout << "=== " << n << " nodes ===\n";
     TablePrinter table(
         {"variant", "msgs/request", "latency factor", "p95 factor"});
     for (const Variant& v : variants) {
-      const auto r = run_experiment(Protocol::kHls, n, spec, v.opts);
+      const auto& r = results[next++];
       table.row({v.name, TablePrinter::num(r.msgs_per_lock_request()),
                  TablePrinter::num(r.latency_factor.mean(), 1),
                  TablePrinter::num(r.latency_factor.percentile(0.95), 1)});

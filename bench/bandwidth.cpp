@@ -2,43 +2,54 @@
 // Message COUNT (Figure 5) is the paper's metric, but a token transfer
 // ships a whole queue while a release is a few dozen bytes — this bench
 // checks that the byte story matches the count story.
-#include <cstdlib>
 #include <iostream>
 
+#include "bench/cli.hpp"
 #include "harness/experiment.hpp"
-
-namespace {
-
-hlock::harness::ExperimentResult run(hlock::harness::Protocol p,
-                                     std::size_t n,
-                                     const hlock::workload::WorkloadSpec& s) {
-  return hlock::harness::run_experiment(p, n, s);
-}
-
-}  // namespace
+#include "harness/json.hpp"
+#include "harness/sweep_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlock;
   using namespace hlock::harness;
 
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: bandwidth [--nodes N] [--ops N] [--seed S] [--threads N]\n"
+      "         [--repeat N] [--no-memo] [--json]\n");
   workload::WorkloadSpec spec;
   spec.ops_per_node = 60;
-  const std::size_t max_nodes =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  bench::apply(cli, spec);
+
+  std::vector<SweepPoint> points;
+  const auto node_counts = bench::sweep_nodes(cli);
+  for (const std::size_t n : node_counts) {
+    points.push_back(make_point(Protocol::kHls, n, spec));
+    points.push_back(make_point(Protocol::kNaimiPure, n, spec));
+    points.push_back(make_point(Protocol::kNaimiSameWork, n, spec));
+  }
+  SweepRunner runner(bench::sweep_options(cli));
+  const auto results = runner.run(points);
+
+  if (cli.json) {
+    write_json_array(std::cout, results);
+    return 0;
+  }
 
   std::cout << "Wire bandwidth (bytes per lock request, serialized + "
                "framing)\n\n";
   TablePrinter table({"nodes", "ours B/req", "ours B/msg", "pure B/req",
                       "same-work B/req"});
-  for (const std::size_t n : sweep_node_counts(max_nodes)) {
-    const auto ours = run(Protocol::kHls, n, spec);
-    const auto pure = run(Protocol::kNaimiPure, n, spec);
-    const auto same = run(Protocol::kNaimiSameWork, n, spec);
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const auto& ours = results[3 * i];
+    const auto& pure = results[3 * i + 1];
+    const auto& same = results[3 * i + 2];
     auto per_req = [](const ExperimentResult& r) {
       return static_cast<double>(r.wire_bytes) /
              static_cast<double>(r.lock_requests);
     };
-    table.row({std::to_string(n), TablePrinter::num(per_req(ours), 1),
+    table.row({std::to_string(node_counts[i]),
+               TablePrinter::num(per_req(ours), 1),
                TablePrinter::num(static_cast<double>(ours.wire_bytes) /
                                      static_cast<double>(ours.messages),
                                  1),

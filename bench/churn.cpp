@@ -2,10 +2,14 @@
 // departing gracefully. Measures how a departure wave affects acquisition
 // latency and what the handover costs in messages.
 #include <iostream>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "common/stats.hpp"
+#include "harness/sweep_runner.hpp"
 #include "core/hls_engine.hpp"
 #include "harness/experiment.hpp"
 #include "sim/simnet.hpp"
@@ -96,21 +100,30 @@ struct ChurnRig {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv, "usage: churn [--threads N]\n");
+  const std::size_t node_counts[] = {4, 8, 16, 32};
+  const std::size_t count = std::size(node_counts);
+
+  std::vector<std::vector<std::string>> rows(count);
+  harness::SweepRunner runner(bench::sweep_options(cli));
+  runner.for_each_index(count, [&](std::size_t i) {
+    const std::size_t n = node_counts[i];
+    ChurnRig rig(n);
+    rig.run(4);
+    rows[i] = {std::to_string(n), std::to_string(rig.departures),
+               std::to_string(rig.latency.count()),
+               harness::TablePrinter::num(rig.latency.mean(), 1),
+               harness::TablePrinter::num(rig.latency.percentile(0.95), 1),
+               std::to_string(rig.net.messages_sent())};
+  });
+
   std::cout << "Membership churn: W-contended lock, staggered graceful "
                "departures until one node remains\n\n";
   harness::TablePrinter table({"nodes", "departures", "acquisitions",
                                "mean wait ms", "p95 ms", "total msgs"});
-  for (const std::size_t n : {std::size_t{4}, std::size_t{8},
-                              std::size_t{16}, std::size_t{32}}) {
-    ChurnRig rig(n);
-    rig.run(4);
-    table.row({std::to_string(n), std::to_string(rig.departures),
-               std::to_string(rig.latency.count()),
-               harness::TablePrinter::num(rig.latency.mean(), 1),
-               harness::TablePrinter::num(rig.latency.percentile(0.95), 1),
-               std::to_string(rig.net.messages_sent())});
-  }
+  for (const auto& row : rows) table.row(row);
   table.print(std::cout);
   std::cout << "\nexpected: every node but one departs; acquisitions keep "
                "flowing throughout (no token loss, no stalls)\n";

@@ -1,0 +1,84 @@
+#include "bench/cli.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+namespace hlock::bench {
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& what, const char* usage) {
+  std::cerr << "error: " << what << "\n" << usage;
+  std::exit(2);
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, const char* usage,
+                     CliOptions defaults, const ExtraFlag& extra) {
+  CliOptions opt = defaults;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (++i >= argc) usage_error("missing value for " + arg, usage);
+      return argv[i];
+    };
+    if (arg == "--nodes") {
+      opt.nodes = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (all_digits(arg)) {
+      opt.nodes = std::strtoul(arg.c_str(), nullptr, 10);
+    } else if (arg == "--ops") {
+      opt.ops = static_cast<std::uint32_t>(
+          std::strtoul(value().c_str(), nullptr, 10));
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value().c_str(), nullptr, 0);
+      opt.seed_set = true;
+    } else if (arg == "--threads") {
+      opt.threads = std::strtoul(value().c_str(), nullptr, 10);
+    } else if (arg == "--repeat") {
+      opt.repeat = std::atoi(value().c_str());
+      if (opt.repeat < 1) usage_error("--repeat must be >= 1", usage);
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--no-memo") {
+      opt.memo = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      std::exit(0);
+    } else if (extra && extra(arg, value)) {
+      // consumed by the binary-specific handler
+    } else {
+      usage_error("unknown argument " + arg, usage);
+    }
+  }
+  return opt;
+}
+
+void apply(const CliOptions& cli, workload::WorkloadSpec& spec) {
+  if (cli.ops != 0) spec.ops_per_node = cli.ops;
+  if (cli.seed_set) spec.seed = cli.seed;
+}
+
+harness::SweepOptions sweep_options(const CliOptions& cli) {
+  harness::SweepOptions opts;
+  opts.threads = cli.threads;
+  opts.memoize = cli.memo;
+  opts.repeat = cli.repeat;
+  return opts;
+}
+
+std::vector<std::size_t> sweep_nodes(const CliOptions& cli) {
+  return harness::sweep_node_counts(cli.nodes != 0 ? cli.nodes : 120);
+}
+
+}  // namespace hlock::bench

@@ -1,0 +1,64 @@
+// Shared flag parsing for the bench binaries and sweep tools.
+//
+// Every sweep binary accepts the same core flags with the same defaults:
+//
+//   --nodes N      cap the node-count sweep at N (or, for single-point
+//                  binaries, run that one size)
+//   --ops N        workload ops per node
+//   --seed S       workload seed (decimal or 0x hex)
+//   --threads N    sweep worker threads (0 = hardware concurrency)
+//   --repeat N     evaluate every point N times (wall-clock timing;
+//                  disables the memo cache)
+//   --no-memo      disable the in-process point memo cache
+//   --json         machine-readable output where the binary supports it
+//
+// A bare positional integer is accepted as --nodes for backward
+// compatibility with the old `fig5_message_overhead 40` invocation.
+// Binary-specific flags are handled via the `extra` callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/sweep_runner.hpp"
+#include "workload/spec.hpp"
+
+namespace hlock::bench {
+
+struct CliOptions {
+  std::size_t nodes = 0;      ///< 0 = binary default
+  std::uint32_t ops = 0;      ///< 0 = binary default
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::size_t threads = 0;    ///< 0 = hardware concurrency
+  int repeat = 1;
+  bool json = false;
+  bool memo = true;
+};
+
+/// Offered each flag the common parser does not recognize; return true
+/// if consumed. `value` fetches the flag's argument (exits with a usage
+/// error if missing).
+using ExtraFlag =
+    std::function<bool(const std::string& arg,
+                       const std::function<std::string()>& value)>;
+
+/// Parse argv. On an unknown flag or missing value, prints `usage` to
+/// stderr and exits with status 2.
+CliOptions parse_cli(int argc, char** argv, const char* usage,
+                     CliOptions defaults = {},
+                     const ExtraFlag& extra = nullptr);
+
+/// Overlay --ops / --seed onto a spec whose fields hold the binary's
+/// defaults.
+void apply(const CliOptions& cli, workload::WorkloadSpec& spec);
+
+/// Runner configuration from --threads / --repeat / --no-memo.
+harness::SweepOptions sweep_options(const CliOptions& cli);
+
+/// The standard node-count sweep capped at --nodes (default 120).
+std::vector<std::size_t> sweep_nodes(const CliOptions& cli);
+
+}  // namespace hlock::bench

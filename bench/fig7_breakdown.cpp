@@ -7,28 +7,45 @@
 // increasingly improbable); copy grants rise and stabilize (requests end
 // as either transfers or grants); releases track grants; freezes rise
 // then stay constant (at most five modes can be frozen).
-#include <cstdlib>
 #include <iostream>
 
+#include "bench/cli.hpp"
 #include "harness/experiment.hpp"
+#include "harness/json.hpp"
+#include "harness/sweep_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlock;
   using namespace hlock::harness;
 
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: fig7_breakdown [--nodes N] [--ops N] [--seed S] [--threads N]\n"
+      "         [--repeat N] [--no-memo] [--json]\n");
   workload::WorkloadSpec spec;
   spec.ops_per_node = 60;
-  const std::size_t max_nodes =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  bench::apply(cli, spec);
+
+  std::vector<SweepPoint> points;
+  const auto node_counts = bench::sweep_nodes(cli);
+  for (const std::size_t n : node_counts)
+    points.push_back(make_point(Protocol::kHls, n, spec));
+  SweepRunner runner(bench::sweep_options(cli));
+  const auto results = runner.run(points);
+
+  if (cli.json) {
+    write_json_array(std::cout, results);
+    return 0;
+  }
 
   std::cout << "Figure 7: message breakdown for our protocol "
                "(messages per lock request, by type)\n\n";
 
   TablePrinter table({"nodes", "request", "grant", "token", "release",
                       "freeze", "total"});
-  for (const std::size_t n : sweep_node_counts(max_nodes)) {
-    const auto r = run_experiment(Protocol::kHls, n, spec);
-    table.row({std::to_string(n),
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const auto& r = results[i];
+    table.row({std::to_string(node_counts[i]),
                TablePrinter::num(r.kind_per_request("request")),
                TablePrinter::num(r.kind_per_request("grant")),
                TablePrinter::num(r.kind_per_request("token")),

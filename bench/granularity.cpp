@@ -17,10 +17,14 @@
 // bottleneck; with long WAN latencies the extra sequential acquisitions
 // of deep plans dominate instead (see the paper's latency model).
 #include <iostream>
+#include <iterator>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "common/rng.hpp"
+#include "harness/sweep_runner.hpp"
 #include "harness/experiment.hpp"
 #include "harness/sim_executor.hpp"
 #include "lockmgr/hierarchy.hpp"
@@ -164,16 +168,17 @@ const char* grain_name(Grain g) {
 
 }  // namespace
 
-int main() {
-  std::cout << "Lock granularity study: " << kNodes << " nodes, "
-            << kCollections << " collections x " << kDocsPerCollection
-            << " docs, 70/15/10/5% doc-read/doc-write/scan/rebuild\n\n";
-  harness::TablePrinter table({"granularity", "mean acquire ms", "p95 ms",
-                               "locks/op", "msgs/op", "makespan s"});
-  for (const Grain g : {Grain::kFlat, Grain::kCoarse, Grain::kFine}) {
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv, "usage: granularity [--threads N]\n");
+  const Grain grains[] = {Grain::kFlat, Grain::kCoarse, Grain::kFine};
+  std::vector<std::vector<std::string>> rows(std::size(grains));
+  harness::SweepRunner runner(bench::sweep_options(cli));
+  runner.for_each_index(std::size(grains), [&](std::size_t i) {
+    const Grain g = grains[i];
     const RunStats s = run_grain(g);
     const double ops = static_cast<double>(kNodes * kOpsPerNode);
-    table.row({grain_name(g),
+    rows[i] = {grain_name(g),
                harness::TablePrinter::num(s.latency_ms.mean(), 1),
                harness::TablePrinter::num(s.latency_ms.percentile(0.95), 1),
                harness::TablePrinter::num(
@@ -181,8 +186,15 @@ int main() {
                harness::TablePrinter::num(
                    static_cast<double>(s.messages) / ops, 2),
                harness::TablePrinter::num(
-                   static_cast<double>(s.makespan) / 1e6, 1)});
-  }
+                   static_cast<double>(s.makespan) / 1e6, 1)};
+  });
+
+  std::cout << "Lock granularity study: " << kNodes << " nodes, "
+            << kCollections << " collections x " << kDocsPerCollection
+            << " docs, 70/15/10/5% doc-read/doc-write/scan/rebuild\n\n";
+  harness::TablePrinter table({"granularity", "mean acquire ms", "p95 ms",
+                               "locks/op", "msgs/op", "makespan s"});
+  for (const auto& row : rows) table.row(row);
   table.print(std::cout);
   std::cout << "\nexpected: finer granularity cuts acquire latency and "
                "makespan (parallel disjoint writers) while intent modes "

@@ -8,33 +8,49 @@
 // middleware itself.
 #include <iostream>
 
+#include "bench/cli.hpp"
 #include "harness/cluster.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep_runner.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hlock;
   using namespace hlock::harness;
 
-  std::cout << "Loss resilience: 24 nodes, paper workload, reliability "
-               "sublayer armed\n\n";
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: loss_resilience [--nodes N] [--ops N] [--seed S]\n"
+      "         [--threads N] [--repeat N] [--no-memo]\n");
+  const double loss_rates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
+
+  std::vector<SweepPoint> points;
+  for (const double loss : loss_rates) {
+    SweepPoint p;
+    p.protocol = Protocol::kHls;
+    p.config.nodes = cli.nodes != 0 ? cli.nodes : 24;
+    p.config.spec.ops_per_node = 40;
+    bench::apply(cli, p.config.spec);
+    p.config.loss_rate = loss;
+    points.push_back(p);
+  }
+  SweepRunner runner(bench::sweep_options(cli));
+  const auto results = runner.run(points);
+
+  std::cout << "Loss resilience: " << points[0].config.nodes
+            << " nodes, paper workload, reliability sublayer armed\n\n";
   TablePrinter table({"loss %", "wire msgs", "dropped", "acks",
                       "protocol msgs/req", "latency factor"});
-  for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
-    ClusterConfig config;
-    config.nodes = 24;
-    config.spec.ops_per_node = 40;
-    config.loss_rate = loss;
-    HlsCluster cluster(config);
-    cluster.run();
-    const auto r = cluster.result();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
     const auto acks = r.messages_by_kind.get("ack");
     // Protocol traffic excludes the sublayer's acks.
     const double proto_per_req =
         static_cast<double>(r.messages - acks) /
         static_cast<double>(r.lock_requests);
-    table.row({TablePrinter::num(loss * 100, 0), std::to_string(r.messages),
-               std::to_string(cluster.network().messages_dropped()),
-               std::to_string(acks), TablePrinter::num(proto_per_req),
+    table.row({TablePrinter::num(loss_rates[i] * 100, 0),
+               std::to_string(r.messages),
+               std::to_string(r.messages_dropped), std::to_string(acks),
+               TablePrinter::num(proto_per_req),
                TablePrinter::num(r.latency_factor.mean(), 1)});
   }
   table.print(std::cout);

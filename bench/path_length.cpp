@@ -2,52 +2,62 @@
 // claim (§2/§4): how many hops a REQUEST travels before some node serves
 // it. Observed from the network (messages are correlated by their
 // (requester, Lamport stamp) identity), no protocol instrumentation.
+//
+// Each node count needs a per-run network hook, so this bench uses the
+// sweep runner's generic parallel map: every index builds its own cluster
+// and tracking state and writes only its own result slot.
 #include <cmath>
-#include <cstdlib>
 #include <iostream>
 #include <map>
 
+#include "bench/cli.hpp"
 #include "common/stats.hpp"
 #include "harness/cluster.hpp"
 #include "harness/experiment.hpp"
+#include "harness/sweep_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace hlock;
   using namespace hlock::harness;
 
-  const std::size_t max_nodes =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 120;
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: path_length [--nodes N] [--ops N] [--seed S] [--threads N]\n");
+  const auto node_counts = bench::sweep_nodes(cli);
 
-  std::cout << "Request path length (hops per REQUEST until served) — the "
-               "O(log n) propagation claim\n\n";
-  TablePrinter table({"nodes", "mean hops", "p95 hops", "max", "log2(n)"});
-  for (const std::size_t n : sweep_node_counts(max_nodes)) {
+  std::vector<Summary> final_hops(node_counts.size());
+  SweepRunner runner(bench::sweep_options(cli));
+  runner.for_each_index(node_counts.size(), [&](std::size_t i) {
     ClusterConfig config;
-    config.nodes = n;
+    config.nodes = node_counts[i];
     config.spec.ops_per_node = 60;
+    bench::apply(cli, config.spec);
 
     HlsCluster cluster(config);
     // Key: (lock, requester, stamp counter) -> hops so far.
     std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint64_t>,
              std::uint32_t>
         in_flight;
-    Summary hops;
     cluster.network().on_deliver = [&](NodeId, NodeId, const Message& m) {
       if (m.kind != MsgKind::kRequest) return;
       const auto key = std::make_tuple(m.lock.value, m.req.requester.value,
                                        m.req.stamp.counter);
-      hops.add(static_cast<double>(++in_flight[key]));
+      ++in_flight[key];
     };
     cluster.run();
-    // The recorded value per request is its final hop count; Summary holds
-    // every intermediate too, so recompute from the map for exact stats.
-    Summary final_hops;
-    for (const auto& [key, count] : in_flight) {
-      final_hops.add(static_cast<double>(count));
-    }
-    table.row({std::to_string(n), TablePrinter::num(final_hops.mean()),
-               TablePrinter::num(final_hops.percentile(0.95), 0),
-               TablePrinter::num(final_hops.max(), 0),
+    // The map holds each request's final hop count.
+    for (const auto& [key, count] : in_flight)
+      final_hops[i].add(static_cast<double>(count));
+  });
+
+  std::cout << "Request path length (hops per REQUEST until served) — the "
+               "O(log n) propagation claim\n\n";
+  TablePrinter table({"nodes", "mean hops", "p95 hops", "max", "log2(n)"});
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    const std::size_t n = node_counts[i];
+    table.row({std::to_string(n), TablePrinter::num(final_hops[i].mean()),
+               TablePrinter::num(final_hops[i].percentile(0.95), 0),
+               TablePrinter::num(final_hops[i].max(), 0),
                TablePrinter::num(std::log2(static_cast<double>(n)))});
   }
   table.print(std::cout);

@@ -6,9 +6,12 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "common/stats.hpp"
+#include "harness/sweep_runner.hpp"
 #include "core/hls_engine.hpp"
 #include "harness/experiment.hpp"
 #include "sim/simnet.hpp"
@@ -75,22 +78,29 @@ struct Rig {
 
 }  // namespace
 
-int main() {
-  std::cout << "Priority arbitration extension: W-contended lock, node 1 at "
-               "priority 10, others at 0 (latency in ms)\n\n";
-  harness::TablePrinter table({"config", "high-prio mean", "high-prio p95",
-                               "background mean", "background p95"});
-  for (const bool enabled : {false, true}) {
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv, "usage: priority_arbitration [--threads N]\n");
+  std::vector<std::vector<std::string>> rows(2);
+  harness::SweepRunner runner(bench::sweep_options(cli));
+  runner.for_each_index(2, [&](std::size_t i) {
+    const bool enabled = i == 1;
     core::EngineOptions opts;
     opts.enable_priorities = enabled;
     Rig rig(opts, 10);
     rig.run(40);
-    table.row({enabled ? "priorities on" : "priorities off (FIFO)",
+    rows[i] = {enabled ? "priorities on" : "priorities off (FIFO)",
                harness::TablePrinter::num(rig.high.mean(), 1),
                harness::TablePrinter::num(rig.high.percentile(0.95), 1),
                harness::TablePrinter::num(rig.low.mean(), 1),
-               harness::TablePrinter::num(rig.low.percentile(0.95), 1)});
-  }
+               harness::TablePrinter::num(rig.low.percentile(0.95), 1)};
+  });
+
+  std::cout << "Priority arbitration extension: W-contended lock, node 1 at "
+               "priority 10, others at 0 (latency in ms)\n\n";
+  harness::TablePrinter table({"config", "high-prio mean", "high-prio p95",
+                               "background mean", "background p95"});
+  for (const auto& row : rows) table.row(row);
   table.print(std::cout);
   std::cout << "\nexpected: enabling priorities cuts the high-priority "
                "client's wait sharply at modest background cost\n";

@@ -3,12 +3,16 @@
 // crashes, the view service recovers the survivors, and we measure the
 // gap in successful acquisitions plus the recovery message cost.
 #include <iostream>
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "common/stats.hpp"
+#include "harness/sweep_runner.hpp"
 #include "core/hls_engine.hpp"
 #include "harness/experiment.hpp"
 #include "sim/simnet.hpp"
@@ -101,13 +105,16 @@ struct Rig {
 
 }  // namespace
 
-int main() {
-  std::cout << "Crash recovery: token holder dies mid-run, view service "
-               "recovers after a 100 ms detection delay\n\n";
-  harness::TablePrinter table({"nodes", "grants total", "service gap ms",
-                               "recovery msgs", "grants after crash"});
-  for (const std::size_t n : {std::size_t{4}, std::size_t{8},
-                              std::size_t{16}, std::size_t{32}}) {
+int main(int argc, char** argv) {
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv, "usage: recovery [--threads N]\n");
+  const std::size_t node_counts[] = {4, 8, 16, 32};
+  const std::size_t count = std::size(node_counts);
+
+  std::vector<std::vector<std::string>> rows(count);
+  harness::SweepRunner runner(bench::sweep_options(cli));
+  runner.for_each_index(count, [&](std::size_t idx) {
+    const std::size_t n = node_counts[idx];
     Rig rig(n);
     rig.run(/*ops_per_node=*/25, /*crash_at=*/msec(400));
     // Service gap: last grant before the crash to first grant after the
@@ -122,13 +129,19 @@ int main() {
     for (const TimePoint t : rig.grant_times) {
       if (t > rig.crash_time) ++after;
     }
-    table.row({std::to_string(n), std::to_string(rig.grant_times.size()),
-               first_after ? harness::TablePrinter::num(
-                                 to_ms(*first_after - last_before), 1)
-                           : "-",
-               std::to_string(rig.msgs_after_recovery - rig.msgs_at_crash),
-               std::to_string(after)});
-  }
+    rows[idx] = {std::to_string(n), std::to_string(rig.grant_times.size()),
+                 first_after ? harness::TablePrinter::num(
+                                   to_ms(*first_after - last_before), 1)
+                             : "-",
+                 std::to_string(rig.msgs_after_recovery - rig.msgs_at_crash),
+                 std::to_string(after)};
+  });
+
+  std::cout << "Crash recovery: token holder dies mid-run, view service "
+               "recovers after a 100 ms detection delay\n\n";
+  harness::TablePrinter table({"nodes", "grants total", "service gap ms",
+                               "recovery msgs", "grants after crash"});
+  for (const auto& row : rows) table.row(row);
   table.print(std::cout);
   std::cout << "\nexpected: the gap is dominated by the detection delay "
                "(100 ms) plus one round trip; survivors keep acquiring "

@@ -6,19 +6,20 @@
 // one measures how fast the simulator itself executes — the hard ceiling
 // on every sweep and sensitivity run. Each point is run `--repeat` times
 // (same seed, bit-identical virtual behavior) and the best wall time is
-// reported. Before/after numbers per PR live in BENCH_throughput.json;
-// docs/PERFORMANCE.md describes the methodology.
+// reported. Points always execute serially: a timed sample needs the
+// machine to itself, so `--threads` is rejected here (use the sweep
+// binaries for parallel execution; see docs/PERFORMANCE.md).
+// Before/after numbers per PR live in BENCH_throughput.json.
 //
 //   ./throughput                       # default sweep, ASCII table
 //   ./throughput --json                # machine-readable, for the JSON log
 //   ./throughput --nodes 24 --ops 40   # one custom point
 #include <chrono>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/cli.hpp"
 #include "harness/cluster.hpp"
 #include "harness/experiment.hpp"
 
@@ -94,51 +95,39 @@ void emit_json(std::ostream& os, const std::vector<Sample>& samples) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::CliOptions defaults;
+  defaults.repeat = 3;
+  const bench::CliOptions cli = bench::parse_cli(
+      argc, argv,
+      "usage: throughput [--nodes N] [--ops N] [--seed S] [--repeat N]\n"
+      "         [--json]\n",
+      defaults);
+  if (cli.threads != 0) {
+    std::cerr << "throughput measures wall clock; timed samples run "
+                 "serially (--threads not supported)\n";
+    return 2;
+  }
+
   workload::WorkloadSpec spec;
   spec.ops_per_node = 60;
-  std::vector<std::size_t> node_counts{16, 64, 120, 256};
-  int repeat = 3;
-  bool json = false;
-
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (++i >= argc) {
-        std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
-      }
-      return argv[i];
-    };
-    if (arg == "--json") {
-      json = true;
-    } else if (arg == "--nodes") {
-      node_counts = {std::strtoul(value(), nullptr, 10)};
-    } else if (arg == "--ops") {
-      spec.ops_per_node = static_cast<std::uint32_t>(
-          std::strtoul(value(), nullptr, 10));
-    } else if (arg == "--repeat") {
-      repeat = std::atoi(value());
-    } else if (arg == "--seed") {
-      spec.seed = std::strtoull(value(), nullptr, 0);
-    } else {
-      std::cerr << "unknown option " << arg << "\n";
-      return 2;
-    }
-  }
+  bench::apply(cli, spec);
+  const std::vector<std::size_t> node_counts =
+      cli.nodes != 0 ? std::vector<std::size_t>{cli.nodes}
+                     : std::vector<std::size_t>{16, 64, 120, 256};
 
   std::vector<Sample> samples;
   for (const std::size_t n : node_counts) {
-    samples.push_back(run_one<HlsCluster>("hls", n, spec, repeat));
+    samples.push_back(run_one<HlsCluster>("hls", n, spec, cli.repeat));
     samples.push_back(
-        run_one<NaimiCluster>("naimi-pure", n, spec, repeat, true));
+        run_one<NaimiCluster>("naimi-pure", n, spec, cli.repeat, true));
   }
 
-  if (json) {
+  if (cli.json) {
     emit_json(std::cout, samples);
     return 0;
   }
 
-  std::cout << "Simulator throughput (wall clock; best of " << repeat
+  std::cout << "Simulator throughput (wall clock; best of " << cli.repeat
             << " runs, fig5 workload, seed=" << spec.seed << ")\n\n";
   TablePrinter table({"protocol", "nodes", "wall ms", "events", "events/sec",
                       "acquires/sec"});

@@ -1,12 +1,13 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 
 namespace hlock {
 
 namespace {
-LogLevel g_level = LogLevel::kNone;
+std::atomic<LogLevel> g_level{LogLevel::kNone};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -21,8 +22,10 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace detail {
 void log_line(LogLevel level, const std::string& line) {

@@ -12,7 +12,9 @@ namespace hlock {
 
 enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
 
-/// Global log level; not synchronized — set it before spawning threads.
+/// Global log level. Reads and writes are atomic (relaxed), so sweep
+/// worker threads can run while a test raises verbosity; output lines
+/// themselves are serialized by a mutex in log_line().
 LogLevel log_level();
 void set_log_level(LogLevel level);
 

@@ -64,6 +64,9 @@ struct EngineOptions {
   /// priority (higher first, FIFO within a level) instead of pure FIFO.
   /// Upgrades retain their Rule 7 precedence regardless.
   bool enable_priorities = false;
+
+  /// Field-wise equality (sweep-runner memo cache key).
+  bool operator==(const EngineOptions&) const = default;
 };
 
 /// Application-facing notifications.

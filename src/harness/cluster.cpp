@@ -112,6 +112,7 @@ ExperimentResult ClusterBase::result() const {
   r.lock_requests = lock_requests_;
   r.messages = net_->messages_sent();
   r.wire_bytes = net_->bytes_sent();
+  r.messages_dropped = net_->messages_dropped();
   r.messages_by_kind = net_->message_counts();
   r.latency_factor = latency_factor_;
   r.latency_by_kind = latency_by_kind_;

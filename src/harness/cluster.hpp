@@ -35,6 +35,9 @@ struct ClusterConfig {
   /// > 0 switches the network to lossy-datagram mode and interposes the
   /// sim::ReliableTransport sublayer on every node.
   double loss_rate{0.0};
+
+  /// Field-wise equality (sweep-runner memo cache key).
+  bool operator==(const ClusterConfig&) const = default;
 };
 
 namespace detail {

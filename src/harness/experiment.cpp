@@ -22,7 +22,11 @@ ExperimentResult run_experiment(Protocol protocol, std::size_t nodes,
   config.nodes = nodes;
   config.spec = spec;
   config.engine_opts = opts;
+  return run_experiment(protocol, config);
+}
 
+ExperimentResult run_experiment(Protocol protocol,
+                                const ClusterConfig& config) {
   switch (protocol) {
     case Protocol::kHls: {
       HlsCluster cluster(config);

@@ -23,6 +23,11 @@ ExperimentResult run_experiment(Protocol protocol, std::size_t nodes,
                                 const workload::WorkloadSpec& spec,
                                 const core::EngineOptions& opts = {});
 
+/// Full-config variant: honors every ClusterConfig field (latency
+/// distribution, loss rate + reliability sublayer), not just the spec.
+ExperimentResult run_experiment(Protocol protocol,
+                                const ClusterConfig& config);
+
 /// Node counts used for the scalability sweeps (the paper plots 0..120).
 std::vector<std::size_t> sweep_node_counts(std::size_t max_nodes = 120);
 

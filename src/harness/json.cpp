@@ -20,6 +20,8 @@ std::string to_json(const ExperimentResult& r) {
   os << "{\"nodes\":" << r.nodes << ",\"app_ops\":" << r.app_ops
      << ",\"lock_requests\":" << r.lock_requests
      << ",\"messages\":" << r.messages
+     << ",\"wire_bytes\":" << r.wire_bytes
+     << ",\"messages_dropped\":" << r.messages_dropped
      << ",\"msgs_per_lock_request\":" << r.msgs_per_lock_request()
      << ",\"msgs_per_op\":" << r.msgs_per_op()
      << ",\"virtual_end_us\":" << r.virtual_end;

@@ -16,6 +16,7 @@ struct ExperimentResult {
   std::uint64_t lock_requests{0};   ///< protocol lock requests issued
   std::uint64_t messages{0};        ///< total protocol messages sent
   std::uint64_t wire_bytes{0};      ///< serialized bytes incl. framing
+  std::uint64_t messages_dropped{0};  ///< network drops (lossy runs only)
   CounterMap messages_by_kind;      ///< the Figure 7 breakdown
   /// Per-op acquisition latency divided by the mean point-to-point
   /// latency — the paper's Figure 6 "latency factor".

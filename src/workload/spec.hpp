@@ -36,6 +36,11 @@ struct WorkloadSpec {
 
   std::uint64_t seed = 0x5eed;
 
+  /// Field-wise equality — the sweep runner's memo cache compares full
+  /// specs (no hashing shortcut), so two points collide only when every
+  /// parameter of the run is the same.
+  bool operator==(const WorkloadSpec&) const = default;
+
   void validate() const {
     const double sum = p_entry_read + p_table_read + p_upgrade +
                        p_entry_write + p_table_write;

@@ -16,6 +16,7 @@
 //   --no-child-grants --no-local-queues --no-freezing --eager-releases
 //   --priorities       enable priority arbitration
 //   --sweep            run the standard node-count sweep instead of one n
+//   --threads N        sweep worker threads (0 = hardware concurrency)
 //   --json             emit JSON instead of the ASCII table
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
+#include "harness/sweep_runner.hpp"
 
 using namespace hlock;
 using namespace hlock::harness;
@@ -40,6 +42,7 @@ struct Options {
   double loss = 0.0;
   bool sweep = false;
   bool json = false;
+  std::size_t threads = 0;
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
@@ -106,6 +109,8 @@ Options parse(int argc, char** argv) {
       opt.engine.enable_priorities = true;
     } else if (arg == "--sweep") {
       opt.sweep = true;
+    } else if (arg == "--threads") {
+      opt.threads = std::stoul(value());
     } else if (arg == "--json") {
       opt.json = true;
     } else {
@@ -116,30 +121,14 @@ Options parse(int argc, char** argv) {
   return opt;
 }
 
-ExperimentResult run_one(const Options& opt, std::size_t nodes) {
-  ClusterConfig config;
-  config.nodes = nodes;
-  config.spec = opt.spec;
-  config.engine_opts = opt.engine;
-  config.loss_rate = opt.loss;
-  switch (opt.protocol) {
-    case Protocol::kHls: {
-      HlsCluster cluster(config);
-      cluster.run();
-      return cluster.result();
-    }
-    case Protocol::kNaimiPure: {
-      NaimiCluster cluster(config, true);
-      cluster.run();
-      return cluster.result();
-    }
-    case Protocol::kNaimiSameWork: {
-      NaimiCluster cluster(config, false);
-      cluster.run();
-      return cluster.result();
-    }
-  }
-  throw std::logic_error("bad protocol");
+SweepPoint point_for(const Options& opt, std::size_t nodes) {
+  SweepPoint p;
+  p.protocol = opt.protocol;
+  p.config.nodes = nodes;
+  p.config.spec = opt.spec;
+  p.config.engine_opts = opt.engine;
+  p.config.loss_rate = opt.loss;
+  return p;
 }
 
 }  // namespace
@@ -147,14 +136,17 @@ ExperimentResult run_one(const Options& opt, std::size_t nodes) {
 int main(int argc, char** argv) {
   const Options opt = parse(argc, argv);
 
-  std::vector<ExperimentResult> results;
+  std::vector<SweepPoint> points;
   if (opt.sweep) {
-    for (const std::size_t n : sweep_node_counts()) {
-      results.push_back(run_one(opt, n));
-    }
+    for (const std::size_t n : sweep_node_counts())
+      points.push_back(point_for(opt, n));
   } else {
-    results.push_back(run_one(opt, opt.nodes));
+    points.push_back(point_for(opt, opt.nodes));
   }
+  SweepOptions sweep_opts;
+  sweep_opts.threads = opt.threads;
+  SweepRunner runner(sweep_opts);
+  const std::vector<ExperimentResult> results = runner.run(points);
 
   if (opt.json) {
     write_json_array(std::cout, results);
