@@ -22,32 +22,18 @@
 #include "bench/cli.hpp"
 #include "harness/cluster.hpp"
 #include "harness/experiment.hpp"
+#include "harness/json.hpp"
 
 using namespace hlock;
 using namespace hlock::harness;
 
 namespace {
 
-struct Sample {
-  std::string protocol;
-  std::size_t nodes{0};
-  double wall_ms{0};
-  std::uint64_t events{0};
-  ExperimentResult result;
-
-  [[nodiscard]] double events_per_sec() const {
-    return static_cast<double>(events) / (wall_ms / 1000.0);
-  }
-  [[nodiscard]] double acquires_per_sec() const {
-    return static_cast<double>(result.lock_requests) / (wall_ms / 1000.0);
-  }
-};
-
 template <typename Cluster, typename... Extra>
-Sample run_one(const char* name, std::size_t nodes,
-               const workload::WorkloadSpec& spec, int repeat,
-               Extra... extra) {
-  Sample s;
+TimingSample run_one(const char* name, std::size_t nodes,
+                     const workload::WorkloadSpec& spec, int repeat,
+                     Extra... extra) {
+  TimingSample s;
   s.protocol = name;
   s.nodes = nodes;
   for (int i = 0; i < repeat; ++i) {
@@ -65,31 +51,6 @@ Sample run_one(const char* name, std::size_t nodes,
     s.result = cluster.result();
   }
   return s;
-}
-
-void emit_json(std::ostream& os, const std::vector<Sample>& samples) {
-  os << "[\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    os << "  {\"protocol\":\"" << s.protocol << "\",\"nodes\":" << s.nodes
-       << ",\"wall_ms\":" << s.wall_ms << ",\"events\":" << s.events
-       << ",\"events_per_sec\":" << static_cast<std::uint64_t>(s.events_per_sec())
-       << ",\"acquires_per_sec\":"
-       << static_cast<std::uint64_t>(s.acquires_per_sec())
-       << ",\"lock_requests\":" << s.result.lock_requests
-       << ",\"messages\":" << s.result.messages
-       << ",\"wire_bytes\":" << s.result.wire_bytes
-       << ",\"virtual_end_us\":" << s.result.virtual_end
-       << ",\"messages_by_kind\":{";
-    bool first = true;
-    for (const auto& [kind, count] : s.result.messages_by_kind.all()) {
-      if (!first) os << ",";
-      first = false;
-      os << "\"" << kind << "\":" << count;
-    }
-    os << "}}" << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  os << "]\n";
 }
 
 }  // namespace
@@ -115,7 +76,7 @@ int main(int argc, char** argv) {
       cli.nodes != 0 ? std::vector<std::size_t>{cli.nodes}
                      : std::vector<std::size_t>{16, 64, 120, 256};
 
-  std::vector<Sample> samples;
+  std::vector<TimingSample> samples;
   for (const std::size_t n : node_counts) {
     samples.push_back(run_one<HlsCluster>("hls", n, spec, cli.repeat));
     samples.push_back(
@@ -123,7 +84,7 @@ int main(int argc, char** argv) {
   }
 
   if (cli.json) {
-    emit_json(std::cout, samples);
+    write_json_array(std::cout, samples);
     return 0;
   }
 
@@ -131,7 +92,7 @@ int main(int argc, char** argv) {
             << " runs, fig5 workload, seed=" << spec.seed << ")\n\n";
   TablePrinter table({"protocol", "nodes", "wall ms", "events", "events/sec",
                       "acquires/sec"});
-  for (const Sample& s : samples) {
+  for (const TimingSample& s : samples) {
     table.row({s.protocol, std::to_string(s.nodes),
                TablePrinter::num(s.wall_ms, 1), std::to_string(s.events),
                TablePrinter::num(s.events_per_sec(), 0),

@@ -1,0 +1,168 @@
+// Sorted-vector associative containers for the protocol hot paths.
+//
+// The engines' per-peer tables (copysets, grant counters, frozen-set
+// mirrors, reliability windows) are tiny — a handful of entries — but the
+// seed implementation kept them in std::map/std::set, so every message
+// paid rb-tree pointer chases and a node allocation per insert. FlatMap
+// and FlatSet store entries in one contiguous sorted vector: lookups are
+// a binary search ending in a cache line the CPU already prefetched,
+// iteration is linear memory, and steady-state mutation of an existing
+// key allocates nothing.
+//
+// Interface subset: exactly the std::map/std::set operations the
+// callers use (find/at/count/contains/try_emplace/insert_or_assign/
+// operator[]/erase/clear and sorted iteration), with identical ordering
+// semantics — code that iterated a std::map observes the same key order
+// here, which is what keeps simulation runs bit-identical after the
+// swap. Unlike std::map, insertion and erasure invalidate iterators and
+// references (vector semantics); callers must not hold them across
+// mutation.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hlock {
+
+/// std::map replacement over a sorted std::vector<std::pair<K, V>>.
+/// Keys need only operator<. Best for small, read-mostly tables.
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+
+  [[nodiscard]] iterator find(const K& key) {
+    const iterator it = lower_bound(key);
+    return it != entries_.end() && !(key < it->first) ? it : entries_.end();
+  }
+  [[nodiscard]] const_iterator find(const K& key) const {
+    const const_iterator it = lower_bound(key);
+    return it != entries_.end() && !(key < it->first) ? it : entries_.end();
+  }
+
+  [[nodiscard]] std::size_t count(const K& key) const {
+    return find(key) == end() ? 0 : 1;
+  }
+  [[nodiscard]] bool contains(const K& key) const { return count(key) != 0; }
+
+  [[nodiscard]] V& at(const K& key) {
+    const iterator it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at: missing key");
+    return it->second;
+  }
+  [[nodiscard]] const V& at(const K& key) const {
+    const const_iterator it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at: missing key");
+    return it->second;
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    iterator it = lower_bound(key);
+    if (it != entries_.end() && !(key < it->first)) return {it, false};
+    it = entries_.emplace(it, std::piecewise_construct,
+                          std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  template <typename M>
+  std::pair<iterator, bool> insert_or_assign(const K& key, M&& value) {
+    const auto [it, inserted] = try_emplace(key, std::forward<M>(value));
+    if (!inserted) it->second = std::forward<M>(value);
+    return {it, inserted};
+  }
+
+  /// std::map-style emplace for (key, mapped) pairs.
+  template <typename M>
+  std::pair<iterator, bool> emplace(const K& key, M&& value) {
+    return try_emplace(key, std::forward<M>(value));
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+  std::size_t erase(const K& key) {
+    const iterator it = find(key);
+    if (it == end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const K& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+/// std::set replacement over a sorted std::vector<K>.
+template <typename K>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<K>::const_iterator;
+
+  [[nodiscard]] bool empty() const { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const { return keys_.size(); }
+  [[nodiscard]] const_iterator begin() const { return keys_.begin(); }
+  [[nodiscard]] const_iterator end() const { return keys_.end(); }
+
+  [[nodiscard]] std::size_t count(const K& key) const {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    return it != keys_.end() && !(key < *it) ? 1 : 0;
+  }
+  [[nodiscard]] bool contains(const K& key) const { return count(key) != 0; }
+
+  std::pair<const_iterator, bool> insert(const K& key) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && !(key < *it)) return {it, false};
+    return {keys_.insert(it, key), true};
+  }
+
+  template <typename InputIt>
+  void insert(InputIt first, InputIt last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  std::size_t erase(const K& key) {
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || key < *it) return 0;
+    keys_.erase(it);
+    return 1;
+  }
+
+  void clear() { keys_.clear(); }
+
+ private:
+  std::vector<K> keys_;
+};
+
+}  // namespace hlock

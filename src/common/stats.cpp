@@ -13,6 +13,12 @@ void Summary::add(double v) {
   sum_sq_ += v * v;
 }
 
+void Summary::seal() {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
 double Summary::mean() const {
   if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
@@ -20,24 +26,28 @@ double Summary::mean() const {
 
 double Summary::min() const {
   if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.front();
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double Summary::max() const {
   if (samples_.empty()) return 0.0;
+  if (sorted_) return samples_.back();
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double Summary::percentile(double q) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
-  }
   q = std::clamp(q, 0.0, 1.0);
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(samples_.size() - 1) + 0.5);
-  return samples_[idx];
+  if (sorted_) return samples_[idx];
+  // Unsealed: stay read-only by selecting on a local copy. Exact, just
+  // slower — collection-end code paths seal() so this is the cold path.
+  std::vector<double> copy(samples_);
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(idx),
+                   copy.end());
+  return copy[idx];
 }
 
 double Summary::stddev() const {

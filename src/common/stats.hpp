@@ -11,9 +11,21 @@ namespace hlock {
 
 /// Streaming numeric summary. Keeps all samples so exact percentiles are
 /// available; experiment scales here are small enough (<1e7 samples).
+///
+/// Call seal() once at collection end: it sorts the sample vector in
+/// place, after which every accessor is genuinely read-only — a sealed
+/// Summary (e.g. inside a memoized ExperimentResult shared across
+/// SweepRunner workers) is safe to read from any number of threads.
+/// Accessors on an unsealed Summary still give exact answers, paying for
+/// a sort of a local copy per percentile() call instead of mutating
+/// shared state under a const method.
 class Summary {
  public:
   void add(double v);
+
+  /// Sort the samples; idempotent. add() after seal() un-seals.
+  void seal();
+  [[nodiscard]] bool sealed() const { return sorted_; }
 
   [[nodiscard]] std::uint64_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
@@ -24,8 +36,8 @@ class Summary {
   [[nodiscard]] double stddev() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_{true};
+  std::vector<double> samples_;
+  bool sorted_{true};
   double sum_{0};
   double sum_sq_{0};
 };

@@ -115,7 +115,7 @@ void HlsEngine::set_hold(RequestId id, Mode mode) {
   it->second = mode;
 }
 
-void HlsEngine::erase_hold(std::map<RequestId, Mode>::iterator it) {
+void HlsEngine::erase_hold(FlatMap<RequestId, Mode>::iterator it) {
   --hold_mode_count_[static_cast<int>(it->second)];
   holds_.erase(it);
 }
@@ -421,6 +421,7 @@ void HlsEngine::leave(NodeId successor_if_root) {
   if (has_token_) {
     Message h;
     h.kind = MsgKind::kHandoff;
+    h.queue = transport_.acquire_queue_buffer();
     h.queue.assign(queue_.begin(), queue_.end());
     queue_.clear();
     has_token_ = false;
@@ -748,6 +749,7 @@ void HlsEngine::transfer_token(const QueuedRequest& q) {
   t.kind = MsgKind::kToken;
   t.mode = q.mode;
   t.sender_owned = remaining;
+  t.queue = transport_.acquire_queue_buffer();
   t.queue.assign(queue_.begin(), queue_.end());
   queue_.clear();
 

@@ -31,11 +31,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/lamport.hpp"
 #include "common/logging.hpp"
 #include "common/types.hpp"
@@ -179,15 +179,18 @@ class HlsEngine {
   [[nodiscard]] Mode held_mode() const;
   /// Strongest mode held/owned in the subtree rooted here (Def. 3).
   [[nodiscard]] Mode owned_mode() const;
-  [[nodiscard]] const std::map<NodeId, Mode>& children() const {
+  /// Copyset view (child -> last reported owned mode), sorted by node id.
+  /// Backed by a flat sorted vector; same iteration order and lookup
+  /// interface as the std::map it replaced.
+  [[nodiscard]] const FlatMap<NodeId, Mode>& children() const {
     return children_;
   }
   [[nodiscard]] ModeSet frozen() const { return frozen_; }
   [[nodiscard]] const std::deque<QueuedRequest>& queue() const {
     return queue_;
   }
-  /// All live holds (request id -> mode).
-  [[nodiscard]] const std::map<RequestId, Mode>& holds() const {
+  /// All live holds (request id -> mode), sorted by request id.
+  [[nodiscard]] const FlatMap<RequestId, Mode>& holds() const {
     return holds_;
   }
   /// True if a local request is pending in the protocol (sent upward or
@@ -227,7 +230,7 @@ class HlsEngine {
   void erase_child(NodeId child);
   void clear_children();
   void set_hold(RequestId id, Mode mode);
-  void erase_hold(std::map<RequestId, Mode>::iterator it);
+  void erase_hold(FlatMap<RequestId, Mode>::iterator it);
   /// Strongest mode with a nonzero count, starting the fold at `base`.
   [[nodiscard]] static Mode strongest_counted(
       const std::array<std::uint32_t, kModeCount>& counts, Mode base,
@@ -293,15 +296,19 @@ class HlsEngine {
   EngineCallbacks callbacks_;
 
   // -- tree / token state --
+  // All per-peer tables below are flat sorted vectors (common/flat_map.hpp)
+  // rather than rb-trees: copysets are small, every handle() touches
+  // several of them, and the flat layout keeps the whole engine state in a
+  // few cache lines with zero steady-state allocation.
   bool has_token_;
   NodeId parent_;  ///< invalid while root
-  std::map<NodeId, Mode> children_;
+  FlatMap<NodeId, Mode> children_;
   /// How many children currently own each mode (incremental aggregate
   /// behind the O(1) children_mode() / owned_mode_excluding_child()).
   std::array<std::uint32_t, kModeCount> child_mode_count_{};
 
   // -- lock state --
-  std::map<RequestId, Mode> holds_;
+  FlatMap<RequestId, Mode> holds_;
   /// How many local holds are in each mode (same idea as above).
   std::array<std::uint32_t, kModeCount> hold_mode_count_{};
   std::optional<PendingLocal> pending_;
@@ -309,7 +316,7 @@ class HlsEngine {
   std::deque<QueuedRequest> queue_;
   ModeSet frozen_;
   /// Last frozen set pushed to each child, to send deltas only.
-  std::map<NodeId, ModeSet> sent_frozen_;
+  FlatMap<NodeId, ModeSet> sent_frozen_;
   /// Set whenever children_ / frozen_ / sent_frozen_ change; lets
   /// push_freeze_updates() skip its full-children scan on the (common)
   /// calls where nothing it depends on moved since the last push.
@@ -317,12 +324,12 @@ class HlsEngine {
   /// Grants sent per child / received per parent — releases echo the
   /// received count so a release that crossed a newer grant in flight can
   /// be recognized as stale and dropped (see Message::grant_seq).
-  std::map<NodeId, std::uint64_t> grants_sent_;
-  std::map<NodeId, std::uint64_t> grants_received_;
+  FlatMap<NodeId, std::uint64_t> grants_sent_;
+  FlatMap<NodeId, std::uint64_t> grants_received_;
   /// Pending upgrade bookkeeping: the hold being upgraded.
   std::optional<RequestId> upgrading_hold_;
   /// Requests cancelled while in flight: their grant is absorbed.
-  std::set<RequestId> cancelled_;
+  FlatSet<RequestId> cancelled_;
 
   /// Tombstone state after leave(): parent_ holds the forwarding target.
   bool departed_{false};
@@ -330,7 +337,7 @@ class HlsEngine {
   std::uint32_t view_{0};
   /// Barrier (root only): survivors whose recovery attach is still due.
   /// Queue service is deferred while non-empty.
-  std::set<NodeId> recovery_waiting_;
+  FlatSet<NodeId> recovery_waiting_;
 
   LamportClock lamport_;
   std::uint64_t next_request_{1};

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "core/hls_engine.hpp"
 #include "msg/message.hpp"
@@ -46,10 +46,10 @@ class HlsNode {
   EngineOptions opts_;
   AcquiredFn on_acquired_;
   UpgradedFn on_upgraded_;
-  std::map<LockId, std::unique_ptr<HlsEngine>> engines_;
+  FlatMap<LockId, std::unique_ptr<HlsEngine>> engines_;
   /// O(1) lookup cache for small lock ids (the common, dense case): the
-  /// engine() map find is on the per-message hot path. Ids past the cap
-  /// fall back to the map.
+  /// engine() lookup is on the per-message hot path. Ids past the cap
+  /// fall back to a binary search of the flat table.
   static constexpr std::uint32_t kDenseLockLimit = 1u << 20;
   std::vector<HlsEngine*> dense_;
 };

@@ -116,6 +116,10 @@ ExperimentResult ClusterBase::result() const {
   r.messages_by_kind = net_->message_counts();
   r.latency_factor = latency_factor_;
   r.latency_by_kind = latency_by_kind_;
+  // Seal at collection end: results may be shared read-only across sweep
+  // workers (memo cache), so no accessor may sort lazily afterwards.
+  r.latency_factor.seal();
+  for (auto& [kind, summary] : r.latency_by_kind) summary.seal();
   r.virtual_end = sim_.now();
   return r;
 }

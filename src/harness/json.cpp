@@ -13,6 +13,17 @@ void append_summary(std::ostringstream& os, const Summary& s) {
      << ",\"p50\":" << s.percentile(0.5) << ",\"p95\":" << s.percentile(0.95)
      << ",\"stddev\":" << s.stddev() << "}";
 }
+
+void append_counters(std::ostringstream& os, const CounterMap& counters) {
+  os << "{";
+  bool first = true;
+  for (const auto& [kind, count] : counters.all()) {
+    if (!first) os << ",";
+    os << "\"" << kind << "\":" << count;
+    first = false;
+  }
+  os << "}";
+}
 }  // namespace
 
 std::string to_json(const ExperimentResult& r) {
@@ -25,17 +36,12 @@ std::string to_json(const ExperimentResult& r) {
      << ",\"msgs_per_lock_request\":" << r.msgs_per_lock_request()
      << ",\"msgs_per_op\":" << r.msgs_per_op()
      << ",\"virtual_end_us\":" << r.virtual_end;
-  os << ",\"messages_by_kind\":{";
-  bool first = true;
-  for (const auto& [kind, count] : r.messages_by_kind.all()) {
-    if (!first) os << ",";
-    os << "\"" << kind << "\":" << count;
-    first = false;
-  }
-  os << "},\"latency_factor\":";
+  os << ",\"messages_by_kind\":";
+  append_counters(os, r.messages_by_kind);
+  os << ",\"latency_factor\":";
   append_summary(os, r.latency_factor);
   os << ",\"latency_by_kind\":{";
-  first = true;
+  bool first = true;
   for (const auto& [kind, summary] : r.latency_by_kind) {
     if (!first) os << ",";
     os << "\"" << kind << "\":";
@@ -52,6 +58,34 @@ void write_json_array(std::ostream& os,
   for (std::size_t i = 0; i < results.size(); ++i) {
     os << "  " << to_json(results[i]);
     if (i + 1 < results.size()) os << ",";
+    os << "\n";
+  }
+  os << "]\n";
+}
+
+std::string to_json(const TimingSample& s) {
+  std::ostringstream os;
+  os << "{\"protocol\":\"" << s.protocol << "\",\"nodes\":" << s.nodes
+     << ",\"wall_ms\":" << s.wall_ms << ",\"events\":" << s.events
+     << ",\"events_per_sec\":" << static_cast<std::uint64_t>(s.events_per_sec())
+     << ",\"acquires_per_sec\":"
+     << static_cast<std::uint64_t>(s.acquires_per_sec())
+     << ",\"lock_requests\":" << s.result.lock_requests
+     << ",\"messages\":" << s.result.messages
+     << ",\"wire_bytes\":" << s.result.wire_bytes
+     << ",\"virtual_end_us\":" << s.result.virtual_end
+     << ",\"messages_by_kind\":";
+  append_counters(os, s.result.messages_by_kind);
+  os << "}";
+  return os.str();
+}
+
+void write_json_array(std::ostream& os,
+                      const std::vector<TimingSample>& samples) {
+  os << "[\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << "  " << to_json(samples[i]);
+    if (i + 1 < samples.size()) os << ",";
     os << "\n";
   }
   os << "]\n";

@@ -143,6 +143,12 @@ class Transport {
   /// synchronously (delivery happens on a later event). Takes the message
   /// by value so senders can move it all the way into the delivery event.
   virtual void send(NodeId to, Message m) = 0;
+
+  /// Borrow an empty buffer to build a Message::queue in. Transports that
+  /// recycle delivered messages (the simulator) hand back a drained
+  /// vector with its capacity intact, so shipping a queue allocates
+  /// nothing in steady state; the default is a fresh vector.
+  virtual std::vector<QueuedRequest> acquire_queue_buffer() { return {}; }
 };
 
 }  // namespace hlock

@@ -16,10 +16,16 @@ NaimiEngine& NaimiNode::add_lock(LockId lock, NodeId initial_holder) {
                                               transport_, std::move(cbs));
   auto [it, inserted] = engines_.emplace(lock, std::move(engine));
   if (!inserted) throw std::logic_error("lock added twice");
+  if (lock.value < kDenseLockLimit) {
+    if (lock.value >= dense_.size()) dense_.resize(lock.value + 1, nullptr);
+    dense_[lock.value] = it->second.get();
+  }
   return *it->second;
 }
 
 NaimiEngine& NaimiNode::engine(LockId lock) {
+  if (lock.value < dense_.size() && dense_[lock.value] != nullptr)
+    return *dense_[lock.value];
   const auto it = engines_.find(lock);
   if (it == engines_.end()) throw std::logic_error("unknown lock");
   return *it->second;

@@ -3,9 +3,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
+#include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "msg/message.hpp"
 #include "naimi/naimi_engine.hpp"
@@ -29,7 +30,12 @@ class NaimiNode {
   NodeId self_;
   Transport& transport_;
   AcquiredFn on_acquired_;
-  std::map<LockId, std::unique_ptr<NaimiEngine>> engines_;
+  FlatMap<LockId, std::unique_ptr<NaimiEngine>> engines_;
+  /// O(1) dispatch cache for small (dense) lock ids, mirroring HlsNode:
+  /// the per-message engine lookup must not chase a tree or even binary
+  /// search in the common case.
+  static constexpr std::uint32_t kDenseLockLimit = 1u << 20;
+  std::vector<NaimiEngine*> dense_;
 };
 
 }  // namespace hlock::naimi

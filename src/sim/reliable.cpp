@@ -41,44 +41,52 @@ void ReliableTransport::send_ack(NodeId to, std::uint64_t seq) {
 }
 
 void ReliableTransport::on_receive(const Message& m) {
-  PeerState& peer = peers_[m.from];
+  const NodeId from = m.from;
+  {
+    PeerState& peer = peers_[from];
 
-  if (m.kind == MsgKind::kAck) {
-    peer.unacked.erase(m.rel_seq);
-    return;
-  }
-  if (m.rel_seq == 0) {
-    // Unsequenced traffic (peer not running the sublayer): pass through.
-    if (deliver_) deliver_(m);
-    return;
-  }
-
-  if (m.rel_seq < peer.expected_in) {
-    // Duplicate of something already delivered — its ack was lost.
-    ++dups_;
-    send_ack(m.from, m.rel_seq);
-    return;
-  }
-  if (m.rel_seq > peer.expected_in) {
-    // Future message: buffer until the gap closes, ack immediately so the
-    // sender stops retransmitting it.
-    if (peer.reorder.emplace(m.rel_seq, m).second) {
-      ++ooo_;
-    } else {
-      ++dups_;
+    if (m.kind == MsgKind::kAck) {
+      peer.unacked.erase(m.rel_seq);
+      return;
     }
-    send_ack(m.from, m.rel_seq);
-    return;
-  }
+    if (m.rel_seq == 0) {
+      // Unsequenced traffic (peer not running the sublayer): pass through.
+      if (deliver_) deliver_(m);
+      return;
+    }
 
-  // In-order: ack, deliver, then drain any buffered successors.
-  send_ack(m.from, m.rel_seq);
-  ++peer.expected_in;
+    if (m.rel_seq < peer.expected_in) {
+      // Duplicate of something already delivered — its ack was lost.
+      ++dups_;
+      send_ack(from, m.rel_seq);
+      return;
+    }
+    if (m.rel_seq > peer.expected_in) {
+      // Future message: buffer until the gap closes, ack immediately so
+      // the sender stops retransmitting it.
+      if (peer.reorder.emplace(m.rel_seq, m).second) {
+        ++ooo_;
+      } else {
+        ++dups_;
+      }
+      send_ack(from, m.rel_seq);
+      return;
+    }
+
+    // In-order: ack first, then leave the scope — deliver_ may re-enter
+    // send() and grow peers_, which invalidates flat-map references.
+    send_ack(from, m.rel_seq);
+    ++peer.expected_in;
+  }
   if (deliver_) deliver_(m);
-  auto it = peer.reorder.begin();
-  while (it != peer.reorder.end() && it->first == peer.expected_in) {
-    const Message next = it->second;
-    it = peer.reorder.erase(it);
+  // Drain buffered successors, re-finding the peer each round for the
+  // same re-entrancy reason.
+  for (;;) {
+    PeerState& peer = peers_[from];
+    const auto it = peer.reorder.find(peer.expected_in);
+    if (it == peer.reorder.end()) break;
+    const Message next = std::move(it->second);
+    peer.reorder.erase(it);
     ++peer.expected_in;
     if (deliver_) deliver_(next);
   }

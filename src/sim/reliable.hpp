@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 
 #include "common/executor.hpp"
+#include "common/flat_map.hpp"
 #include "common/types.hpp"
 #include "msg/message.hpp"
 
@@ -39,6 +39,11 @@ class ReliableTransport final : public Transport {
   /// Feed every raw message received from `lower`'s network here.
   void on_receive(const Message& m);
 
+  /// Queue-buffer recycling passes through to the raw transport.
+  std::vector<QueuedRequest> acquire_queue_buffer() override {
+    return lower_.acquire_queue_buffer();
+  }
+
   // ---- stats ----
   [[nodiscard]] std::uint64_t retransmissions() const { return retx_; }
   [[nodiscard]] std::uint64_t duplicates_dropped() const { return dups_; }
@@ -47,11 +52,14 @@ class ReliableTransport final : public Transport {
   [[nodiscard]] std::size_t unacked() const;
 
  private:
+  /// Send/receive windows are flat sorted vectors: sequence numbers are
+  /// assigned monotonically so inserts land at the back, and the windows
+  /// stay small (unacked in-flight traffic, a short reorder gap).
   struct PeerState {
-    std::uint64_t next_out{1};                 ///< next seq to assign
-    std::map<std::uint64_t, Message> unacked;  ///< sent, not yet acked
-    std::uint64_t expected_in{1};              ///< next seq to deliver
-    std::map<std::uint64_t, Message> reorder;  ///< future seqs buffered
+    std::uint64_t next_out{1};                ///< next seq to assign
+    FlatMap<std::uint64_t, Message> unacked;  ///< sent, not yet acked
+    std::uint64_t expected_in{1};             ///< next seq to deliver
+    FlatMap<std::uint64_t, Message> reorder;  ///< future seqs buffered
   };
 
   void arm_retransmit(NodeId to, std::uint64_t seq);
@@ -62,7 +70,7 @@ class ReliableTransport final : public Transport {
   Executor& timers_;
   Duration rto_;
   std::function<void(const Message&)> deliver_;
-  std::map<NodeId, PeerState> peers_;
+  FlatMap<NodeId, PeerState> peers_;
   std::uint64_t retx_{0};
   std::uint64_t dups_{0};
   std::uint64_t ooo_{0};

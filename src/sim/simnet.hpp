@@ -58,6 +58,11 @@ class SimNetwork {
     return counts_[static_cast<std::size_t>(kind)];
   }
   [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  /// Pass-through to the simulator's Message::queue buffer pool (see
+  /// Simulator::acquire_queue_buffer).
+  [[nodiscard]] std::vector<QueuedRequest> acquire_queue_buffer() {
+    return sim_.acquire_queue_buffer();
+  }
   /// Serialized size of everything sent (wire bytes, as the real codec
   /// would frame it), including dropped messages.
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
@@ -100,6 +105,9 @@ class SimTransport final : public Transport {
   SimTransport(SimNetwork& net, NodeId self) : net_(net), self_(self) {}
   void send(NodeId to, Message m) override {
     net_.send(self_, to, std::move(m));
+  }
+  std::vector<QueuedRequest> acquire_queue_buffer() override {
+    return net_.acquire_queue_buffer();
   }
 
  private:

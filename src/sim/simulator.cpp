@@ -6,44 +6,73 @@
 
 namespace hlock::sim {
 
-void Simulator::push_event(Event ev) {
-  if (ev.t < now_) throw std::logic_error("scheduling into the past");
-  ev.seq = next_seq_++;
-  heap_.push_back(std::move(ev));
+void Simulator::push_event(TimePoint t, Event ev) {
+  if (t < now_) throw std::logic_error("scheduling into the past");
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+    slab_[slot] = std::move(ev);
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.push_back(std::move(ev));
+  }
+  heap_.push_back(HeapKey{t, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Simulator::schedule_at(TimePoint t, EventFn fn) {
   Event ev;
-  ev.t = t;
   ev.fn = std::move(fn);
-  push_event(std::move(ev));
+  push_event(t, std::move(ev));
 }
 
 void Simulator::schedule_deliver_at(TimePoint t, DeliverFn fn, void* ctx,
                                     NodeId from, NodeId to, Message msg) {
   Event ev;
-  ev.t = t;
   ev.deliver = fn;
   ev.ctx = ctx;
   ev.from = from;
   ev.to = to;
   ev.msg = std::move(msg);
-  push_event(std::move(ev));
+  push_event(t, std::move(ev));
+}
+
+std::vector<QueuedRequest> Simulator::acquire_queue_buffer() {
+  if (queue_pool_.empty()) return {};
+  std::vector<QueuedRequest> q = std::move(queue_pool_.back());
+  queue_pool_.pop_back();
+  return q;
+}
+
+void Simulator::recycle_queue_buffer(std::vector<QueuedRequest>&& q) {
+  if (q.capacity() == 0 || queue_pool_.size() >= kQueuePoolCapacity) return;
+  q.clear();
+  queue_pool_.push_back(std::move(q));
 }
 
 bool Simulator::step() {
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const HeapKey key = heap_.back();
   heap_.pop_back();
-  now_ = ev.t;
+  // Move the payload out before running it: the handler may schedule new
+  // events, and a slab reallocation must not invalidate what we are
+  // executing (deliver handlers hold a reference to `ev.msg`). The slot is
+  // freed immediately so a chain of schedule-one-run-one events reuses a
+  // single slot forever.
+  Event ev = std::move(slab_[key.slot]);
+  free_.push_back(key.slot);
+  now_ = key.t;
   ++processed_;
   if (ev.deliver != nullptr) {
     ev.deliver(ev.ctx, ev.from, ev.to, ev.msg);
   } else {
     ev.fn();
   }
+  // Recycle the drained queue storage; the rest of `ev` dies here, which
+  // also releases any closure captures promptly.
+  recycle_queue_buffer(std::move(ev.msg.queue));
   if (post_event_hook) post_event_hook();
   return true;
 }

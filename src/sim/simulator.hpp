@@ -11,9 +11,19 @@
 // therefore come in two shapes — a generic closure (timers, workload
 // drivers, whose small captures fit std::function's inline storage) and a
 // dedicated deliver variant (function pointer + context + inline Message)
-// that never allocates. The heap is an explicit binary heap over a
-// reserved std::vector, so steady-state scheduling does not allocate
-// either.
+// that never allocates.
+//
+// The queue itself is an *index heap over a slab*: the binary heap orders
+// 24-byte (t, seq, slot) keys while the fat Event payloads (~200 bytes —
+// a std::function plus a Message carrying a QueuedRequest vector) sit
+// still in a free-list-recycled slab. Every push_heap/pop_heap sift moves
+// a key, not a payload, so heap maintenance costs O(log n) × 24 bytes
+// instead of O(log n) × 200. Slab slots and heap storage are recycled, so
+// steady-state scheduling performs zero heap allocations per event
+// (tests/test_event_slab.cpp counts them). Drained Message::queue vectors
+// are returned to a per-simulator pool and handed back out through
+// Transport::acquire_queue_buffer(), so token transfers stop churning the
+// allocator too.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +44,12 @@ class Simulator {
   /// the dominant event shape (message delivery) never heap-allocates.
   using DeliverFn = void (*)(void* ctx, NodeId from, NodeId to, Message& m);
 
-  Simulator() { heap_.reserve(kInitialHeapCapacity); }
+  Simulator() {
+    heap_.reserve(kInitialHeapCapacity);
+    slab_.reserve(kInitialHeapCapacity);
+    free_.reserve(kInitialHeapCapacity);
+    queue_pool_.reserve(kQueuePoolCapacity);
+  }
 
   /// Schedule `fn` at absolute virtual time `t` (>= now()).
   void schedule_at(TimePoint t, EventFn fn);
@@ -47,7 +62,11 @@ class Simulator {
 
   /// Pre-size the event heap for the expected number of *concurrently*
   /// outstanding events (not total events).
-  void reserve(std::size_t n) { heap_.reserve(n); }
+  void reserve(std::size_t n) {
+    heap_.reserve(n);
+    slab_.reserve(n);
+    free_.reserve(n);
+  }
 
   [[nodiscard]] TimePoint now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -61,15 +80,36 @@ class Simulator {
   /// livelock bug and throws).
   void run_all(std::uint64_t max_events = 500'000'000);
 
+  /// Borrow an empty QueuedRequest buffer, reusing the capacity of a
+  /// previously delivered Message::queue when one is pooled. Senders that
+  /// ship queues (token transfers, handoffs) fill these instead of
+  /// growing a fresh vector from zero every time.
+  [[nodiscard]] std::vector<QueuedRequest> acquire_queue_buffer();
+
+  /// Recycle hook: drained Message::queue storage returns here (called
+  /// internally after each deliver event; exposed for tests and for
+  /// callers that drain a shipped queue themselves).
+  void recycle_queue_buffer(std::vector<QueuedRequest>&& q);
+
+  /// Pooled queue buffers currently idle (tests).
+  [[nodiscard]] std::size_t pooled_queue_buffers() const {
+    return queue_pool_.size();
+  }
+  /// Slab slots currently on the free list (tests).
+  [[nodiscard]] std::size_t free_slots() const { return free_.size(); }
+  /// Total slab slots ever materialized = high-water mark of concurrently
+  /// scheduled events (tests).
+  [[nodiscard]] std::size_t slab_size() const { return slab_.size(); }
+
   /// Invoked after every event; the invariant probes in tests hang here.
   std::function<void()> post_event_hook;
 
  private:
   static constexpr std::size_t kInitialHeapCapacity = 1024;
+  static constexpr std::size_t kQueuePoolCapacity = 64;
 
+  /// Fat payload, parked in the slab while its key sifts through the heap.
   struct Event {
-    TimePoint t;
-    std::uint64_t seq;
     EventFn fn;  ///< generic closure; empty for deliver events
     // Deliver-event payload (used when `deliver` is non-null).
     DeliverFn deliver{nullptr};
@@ -78,19 +118,31 @@ class Simulator {
     NodeId to{};
     Message msg{};
   };
+  /// What the binary heap actually sifts: 24 bytes, trivially copyable.
+  struct HeapKey {
+    TimePoint t;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapKey& a, const HeapKey& b) const {
       if (a.t != b.t) return a.t > b.t;
       return a.seq > b.seq;
     }
   };
 
-  void push_event(Event ev);
+  void push_event(TimePoint t, Event ev);
 
-  /// Binary min-heap by (t, seq) via std::push_heap/std::pop_heap on a
-  /// reserved vector (std::priority_queue exposes neither reserve() nor a
-  /// non-const top() to move events out of).
-  std::vector<Event> heap_;
+  /// Binary min-heap of keys by (t, seq) via std::push_heap/std::pop_heap
+  /// on a reserved vector (std::priority_queue exposes neither reserve()
+  /// nor a non-const top() to move events out of).
+  std::vector<HeapKey> heap_;
+  /// Payload slab indexed by HeapKey::slot; grows to the high-water mark
+  /// of outstanding events and is then recycled through free_ forever.
+  std::vector<Event> slab_;
+  std::vector<std::uint32_t> free_;
+  /// Idle Message::queue storage (capacity retained, size zero).
+  std::vector<std::vector<QueuedRequest>> queue_pool_;
   TimePoint now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t processed_{0};

@@ -175,6 +175,28 @@ TEST(Summary, Percentiles) {
   EXPECT_NEAR(s.percentile(0.95), 95.0, 1.0);
 }
 
+TEST(Summary, SealMakesAccessorsReadOnlyAndStable) {
+  Summary s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_FALSE(s.sealed());
+  // Unsealed percentile() must answer without mutating internal state.
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_FALSE(s.sealed());
+
+  s.seal();
+  EXPECT_TRUE(s.sealed());
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(0.95), 95.0, 1.0);
+  s.seal();  // idempotent
+  EXPECT_TRUE(s.sealed());
+
+  // Adding after a seal unseals; answers stay exact either way.
+  s.add(1000.0);
+  EXPECT_FALSE(s.sealed());
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 1000.0);
+}
+
 TEST(Summary, EmptyIsZero) {
   const Summary s;
   EXPECT_EQ(s.count(), 0u);
