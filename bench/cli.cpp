@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/parse.hpp"
 #include "harness/experiment.hpp"
 
 namespace hlock::bench {
@@ -22,11 +23,48 @@ bool all_digits(const std::string& s) {
   return true;
 }
 
+// Strict flag-value parsing: the whole token must be a number, otherwise
+// it is a usage error — never a silent 0/truncation like the strtoul
+// calls these replaced ("--nodes abc" used to run the binary-default
+// sweep, "--seed 12x" the wrong seed).
+std::size_t parse_size(const std::string& flag, const std::string& text,
+                       const char* usage) {
+  const auto v = try_parse_size(text);
+  if (!v) usage_error(flag + " expects an unsigned integer, got '" + text +
+                      "'", usage);
+  return *v;
+}
+
+std::uint32_t parse_u32(const std::string& flag, const std::string& text,
+                        const char* usage) {
+  const auto v = try_parse_u32(text);
+  if (!v) usage_error(flag + " expects an unsigned 32-bit integer, got '" +
+                      text + "'", usage);
+  return *v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text,
+                        const char* usage, int base) {
+  const auto v = try_parse_u64(text, base);
+  if (!v) usage_error(flag + " expects an unsigned integer, got '" + text +
+                      "'", usage);
+  return *v;
+}
+
+int parse_int(const std::string& flag, const std::string& text,
+              const char* usage) {
+  const auto v = try_parse_int(text);
+  if (!v) usage_error(flag + " expects an integer, got '" + text + "'",
+                      usage);
+  return *v;
+}
+
 }  // namespace
 
 CliOptions parse_cli(int argc, char** argv, const char* usage,
                      CliOptions defaults, const ExtraFlag& extra) {
   CliOptions opt = defaults;
+  bool disk_cache = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
@@ -34,24 +72,30 @@ CliOptions parse_cli(int argc, char** argv, const char* usage,
       return argv[i];
     };
     if (arg == "--nodes") {
-      opt.nodes = std::strtoul(value().c_str(), nullptr, 10);
+      opt.nodes = parse_size(arg, value(), usage);
     } else if (all_digits(arg)) {
-      opt.nodes = std::strtoul(arg.c_str(), nullptr, 10);
+      opt.nodes = parse_size("--nodes", arg, usage);
     } else if (arg == "--ops") {
-      opt.ops = static_cast<std::uint32_t>(
-          std::strtoul(value().c_str(), nullptr, 10));
+      opt.ops = parse_u32(arg, value(), usage);
     } else if (arg == "--seed") {
-      opt.seed = std::strtoull(value().c_str(), nullptr, 0);
+      // base 0: decimal or 0x-prefixed hex.
+      opt.seed = parse_u64(arg, value(), usage, 0);
       opt.seed_set = true;
     } else if (arg == "--threads") {
-      opt.threads = std::strtoul(value().c_str(), nullptr, 10);
+      opt.threads = parse_size(arg, value(), usage);
     } else if (arg == "--repeat") {
-      opt.repeat = std::atoi(value().c_str());
+      opt.repeat = parse_int(arg, value(), usage);
       if (opt.repeat < 1) usage_error("--repeat must be >= 1", usage);
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--no-memo") {
       opt.memo = false;
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = value();
+      if (opt.cache_dir.empty())
+        usage_error("--cache-dir expects a directory", usage);
+    } else if (arg == "--no-disk-cache") {
+      disk_cache = false;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << usage;
       std::exit(0);
@@ -61,6 +105,14 @@ CliOptions parse_cli(int argc, char** argv, const char* usage,
       usage_error("unknown argument " + arg, usage);
     }
   }
+  // HLOCK_CACHE_DIR opts whole shells/CI jobs into the disk cache without
+  // touching each command line; an explicit --cache-dir wins, and
+  // --no-disk-cache turns both off.
+  if (opt.cache_dir.empty()) {
+    if (const char* env = std::getenv("HLOCK_CACHE_DIR"))
+      opt.cache_dir = *env != '\0' ? env : ".hlock-cache";
+  }
+  if (!disk_cache) opt.cache_dir.clear();
   return opt;
 }
 
@@ -74,6 +126,7 @@ harness::SweepOptions sweep_options(const CliOptions& cli) {
   opts.threads = cli.threads;
   opts.memoize = cli.memo;
   opts.repeat = cli.repeat;
+  opts.cache_dir = cli.cache_dir;
   return opts;
 }
 

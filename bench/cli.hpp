@@ -10,7 +10,15 @@
 //   --repeat N     evaluate every point N times (wall-clock timing;
 //                  disables the memo cache)
 //   --no-memo      disable the in-process point memo cache
+//   --cache-dir D  persist sweep results across invocations under D
+//                  (harness::ResultStore); also enabled when the
+//                  HLOCK_CACHE_DIR environment variable is set (its value
+//                  names the directory; empty value = `.hlock-cache`)
+//   --no-disk-cache  ignore --cache-dir / HLOCK_CACHE_DIR
 //   --json         machine-readable output where the binary supports it
+//
+// Numeric values are parsed strictly: `--nodes abc` or `--seed 12x` is a
+// usage error (exit 2), never a silently mis-parsed sweep.
 //
 // A bare positional integer is accepted as --nodes for backward
 // compatibility with the old `fig5_message_overhead 40` invocation.
@@ -36,6 +44,8 @@ struct CliOptions {
   int repeat = 1;
   bool json = false;
   bool memo = true;
+  /// Cross-invocation result cache directory; empty = disabled.
+  std::string cache_dir;
 };
 
 /// Offered each flag the common parser does not recognize; return true

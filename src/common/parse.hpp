@@ -1,0 +1,96 @@
+// Strict numeric parsing for command-line values.
+//
+// The C conversion functions the tools used to call are the wrong shape
+// for flag parsing: strtoul("abc") returns 0 with no error, "12x" is
+// silently truncated to 12, and std::stoul throws std::invalid_argument
+// out of main. Every helper here accepts a token only when the ENTIRE
+// string is a valid number in range, and returns std::nullopt otherwise —
+// the caller decides whether that is a usage error (exit 2) or an
+// exception.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <string>
+
+namespace hlock {
+
+/// Whole-string unsigned parse. `base` follows strtoull: 10 for plain
+/// decimal, 0 to also accept 0x-prefixed hex (used by --seed). Rejects
+/// empty strings, leading whitespace, sign characters, trailing garbage
+/// and out-of-range values.
+inline std::optional<std::uint64_t> try_parse_u64(const std::string& text,
+                                                  int base = 10) {
+  if (text.empty()) return std::nullopt;
+  // strtoull skips whitespace and accepts "-1" (wrapping); forbid both so
+  // the accepted language is exactly [0x]digits.
+  const unsigned char first = static_cast<unsigned char>(text.front());
+  if (std::isspace(first) || text.front() == '-' || text.front() == '+')
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, base);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+inline std::optional<std::uint32_t> try_parse_u32(const std::string& text,
+                                                  int base = 10) {
+  const auto v = try_parse_u64(text, base);
+  if (!v || *v > std::numeric_limits<std::uint32_t>::max())
+    return std::nullopt;
+  return static_cast<std::uint32_t>(*v);
+}
+
+inline std::optional<std::uint16_t> try_parse_u16(const std::string& text) {
+  const auto v = try_parse_u64(text);
+  if (!v || *v > std::numeric_limits<std::uint16_t>::max())
+    return std::nullopt;
+  return static_cast<std::uint16_t>(*v);
+}
+
+inline std::optional<std::size_t> try_parse_size(const std::string& text) {
+  const auto v = try_parse_u64(text);
+  if (!v || *v > std::numeric_limits<std::size_t>::max()) return std::nullopt;
+  return static_cast<std::size_t>(*v);
+}
+
+/// Whole-string signed parse (--repeat and friends).
+inline std::optional<int> try_parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  if (std::isspace(static_cast<unsigned char>(text.front())))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max())
+    return std::nullopt;
+  return static_cast<int>(v);
+}
+
+/// Whole-string floating-point parse. Accepts anything strtod does
+/// (including exponents) as long as it consumes the entire token; rejects
+/// "nan"/"inf" — no flag in this codebase means anything non-finite.
+inline std::optional<double> try_parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  if (std::isspace(static_cast<unsigned char>(text.front())))
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity())
+    return std::nullopt;
+  return v;
+}
+
+}  // namespace hlock

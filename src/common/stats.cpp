@@ -19,6 +19,16 @@ void Summary::seal() {
   sorted_ = true;
 }
 
+Summary Summary::restore(std::vector<double> samples, bool sorted,
+                         double sum, double sum_sq) {
+  Summary s;
+  s.samples_ = std::move(samples);
+  s.sorted_ = sorted;
+  s.sum_ = sum;
+  s.sum_sq_ = sum_sq;
+  return s;
+}
+
 double Summary::mean() const {
   if (samples_.empty()) return 0.0;
   return sum_ / static_cast<double>(samples_.size());
@@ -54,6 +64,9 @@ double Summary::stddev() const {
   const auto n = static_cast<double>(samples_.size());
   if (n < 2) return 0.0;
   const double m = mean();
+  // E[x^2] - E[x]^2 suffers catastrophic cancellation for near-constant
+  // samples and can come out a hair negative; unclamped, sqrt would turn
+  // that into NaN (and NaN leaks into JSON as an invalid token).
   const double var = std::max(0.0, sum_sq_ / n - m * m);
   return std::sqrt(var);
 }

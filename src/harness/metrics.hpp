@@ -45,6 +45,11 @@ struct ExperimentResult {
                : static_cast<double>(messages_by_kind.get(kind)) /
                      static_cast<double>(lock_requests);
   }
+
+  /// Exact field-wise equality, down to Summary internal state — the
+  /// ResultStore round-trip contract (cache-hit rerun byte-identical to
+  /// a cold run) is tested through this.
+  bool operator==(const ExperimentResult&) const = default;
 };
 
 }  // namespace hlock::harness

@@ -1,0 +1,345 @@
+#include "harness/result_store.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "harness/json.hpp"
+#include "harness/sweep_runner.hpp"
+
+namespace hlock::harness {
+
+namespace {
+
+constexpr const char* kFileName = "results.jsonl";
+constexpr const char* kFormatName = "hlock-result-cache";
+
+/// Minimal JSON string escape — canonical keys are plain ASCII by
+/// construction, but the store never trusts that.
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_summary_exact(std::ostringstream& os, const Summary& s) {
+  os << "{\"sum\":" << json_double(s.sum())
+     << ",\"sum_sq\":" << json_double(s.sum_sq())
+     << ",\"sorted\":" << (s.sealed() ? "true" : "false") << ",\"samples\":[";
+  bool first = true;
+  for (const double v : s.samples()) {
+    if (!first) os << ",";
+    os << json_double(v);
+    first = false;
+  }
+  os << "]}";
+}
+
+std::optional<Summary> summary_from_json(const JsonValue& v) {
+  const JsonValue* sum = v.find("sum");
+  const JsonValue* sum_sq = v.find("sum_sq");
+  const JsonValue* sorted = v.find("sorted");
+  const JsonValue* samples = v.find("samples");
+  if (!sum || !sum_sq || !sorted || !samples ||
+      samples->kind != JsonValue::Kind::kArray)
+    return std::nullopt;
+  const auto sum_v = sum->as_double();
+  const auto sum_sq_v = sum_sq->as_double();
+  const auto sorted_v = sorted->as_bool();
+  if (!sum_v || !sum_sq_v || !sorted_v) return std::nullopt;
+  std::vector<double> values;
+  values.reserve(samples->elements.size());
+  for (const JsonValue& e : samples->elements) {
+    const auto d = e.as_double();
+    if (!d) return std::nullopt;  // includes non-finite-written-as-null
+    values.push_back(*d);
+  }
+  return Summary::restore(std::move(values), *sorted_v, *sum_v, *sum_sq_v);
+}
+
+}  // namespace
+
+// The canonical key must cover EVERY field of the point identity; these
+// fire when a field is added to one of the structs without this file
+// being updated (sizes are stable across gcc/clang on the x86-64 Itanium
+// ABI this project targets).
+static_assert(sizeof(core::EngineOptions) == 5,
+              "EngineOptions changed — update canonical_point_key()");
+static_assert(sizeof(workload::WorkloadSpec) == 96,
+              "WorkloadSpec changed — update canonical_point_key()");
+static_assert(sizeof(ClusterConfig) == 128,
+              "ClusterConfig changed — update canonical_point_key()");
+
+std::string canonical_point_key(const SweepPoint& p) {
+  const ClusterConfig& c = p.config;
+  const workload::WorkloadSpec& s = c.spec;
+  const core::EngineOptions& e = c.engine_opts;
+  std::ostringstream os;
+  os << "v1|proto=" << static_cast<int>(p.protocol) << "|nodes=" << c.nodes
+     << "|lat=" << static_cast<int>(c.latency)
+     << "|loss=" << json_double(c.loss_rate) << "|cs=" << s.cs_mean
+     << "|idle=" << s.idle_mean << "|net=" << s.net_latency_mean
+     << "|per=" << json_double(s.p_entry_read)
+     << "|ptr=" << json_double(s.p_table_read)
+     << "|pu=" << json_double(s.p_upgrade)
+     << "|pew=" << json_double(s.p_entry_write)
+     << "|ptw=" << json_double(s.p_table_write)
+     << "|entries=" << s.entries_per_node
+     << "|home=" << json_double(s.home_bias) << "|ops=" << s.ops_per_node
+     << "|seed=" << s.seed << "|cg=" << e.allow_child_grants
+     << "|lq=" << e.allow_local_queues << "|fz=" << e.enable_freezing
+     << "|lr=" << e.lazy_release << "|pr=" << e.enable_priorities;
+  return os.str();
+}
+
+std::string result_to_cache_json(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << "{\"nodes\":" << r.nodes << ",\"app_ops\":" << r.app_ops
+     << ",\"lock_requests\":" << r.lock_requests
+     << ",\"messages\":" << r.messages << ",\"wire_bytes\":" << r.wire_bytes
+     << ",\"messages_dropped\":" << r.messages_dropped
+     << ",\"virtual_end\":" << r.virtual_end << ",\"messages_by_kind\":{";
+  bool first = true;
+  for (const auto& [kind, count] : r.messages_by_kind.all()) {
+    if (!first) os << ",";
+    append_escaped(os, kind);
+    os << ":" << count;
+    first = false;
+  }
+  os << "},\"latency_factor\":";
+  append_summary_exact(os, r.latency_factor);
+  os << ",\"latency_by_kind\":{";
+  first = true;
+  for (const auto& [kind, summary] : r.latency_by_kind) {
+    if (!first) os << ",";
+    append_escaped(os, kind);
+    os << ":";
+    append_summary_exact(os, summary);
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace {
+
+std::optional<ExperimentResult> result_from_json(const JsonValue& doc) {
+  if (doc.kind != JsonValue::Kind::kObject) return std::nullopt;
+
+  ExperimentResult r;
+  const auto u64_field = [&](const char* name,
+                             std::uint64_t& out) -> bool {
+    const JsonValue* v = doc.find(name);
+    if (!v) return false;
+    const auto parsed = v->as_u64();
+    if (!parsed) return false;
+    out = *parsed;
+    return true;
+  };
+  std::uint64_t nodes = 0;
+  if (!u64_field("nodes", nodes)) return std::nullopt;
+  r.nodes = static_cast<std::size_t>(nodes);
+  if (!u64_field("app_ops", r.app_ops)) return std::nullopt;
+  if (!u64_field("lock_requests", r.lock_requests)) return std::nullopt;
+  if (!u64_field("messages", r.messages)) return std::nullopt;
+  if (!u64_field("wire_bytes", r.wire_bytes)) return std::nullopt;
+  if (!u64_field("messages_dropped", r.messages_dropped)) return std::nullopt;
+
+  const JsonValue* vend = doc.find("virtual_end");
+  if (!vend) return std::nullopt;
+  const auto vend_v = vend->as_i64();
+  if (!vend_v) return std::nullopt;
+  r.virtual_end = *vend_v;
+
+  const JsonValue* kinds = doc.find("messages_by_kind");
+  if (!kinds || kinds->kind != JsonValue::Kind::kObject) return std::nullopt;
+  for (const auto& [kind, count] : kinds->members) {
+    const auto parsed = count.as_u64();
+    if (!parsed) return std::nullopt;
+    r.messages_by_kind.inc(kind, *parsed);
+  }
+
+  const JsonValue* factor = doc.find("latency_factor");
+  if (!factor) return std::nullopt;
+  auto factor_summary = summary_from_json(*factor);
+  if (!factor_summary) return std::nullopt;
+  r.latency_factor = std::move(*factor_summary);
+
+  const JsonValue* by_kind = doc.find("latency_by_kind");
+  if (!by_kind || by_kind->kind != JsonValue::Kind::kObject)
+    return std::nullopt;
+  for (const auto& [kind, value] : by_kind->members) {
+    auto summary = summary_from_json(value);
+    if (!summary) return std::nullopt;
+    r.latency_by_kind.emplace(kind, std::move(*summary));
+  }
+  return r;
+}
+
+}  // namespace
+
+std::optional<ExperimentResult> result_from_cache_json(
+    const std::string& json) {
+  const std::optional<JsonValue> doc = parse_json(json);
+  if (!doc) return std::nullopt;
+  return result_from_json(*doc);
+}
+
+// --- ResultStore -----------------------------------------------------------
+
+ResultStore::ResultStore(std::string dir, std::string build)
+    : dir_(std::move(dir)), build_(std::move(build)) {}
+
+ResultStore::~ResultStore() {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  if (!loaded_) return;  // never touched: stay silent
+  // One stderr line per invocation so scripted runs (and the CI reuse
+  // smoke test) can assert hit/miss behavior without affecting the
+  // byte-compared stdout.
+  std::cerr << "[result-store] dir=" << dir_ << " hits=" << hits_
+            << " misses=" << misses_ << " stored=" << stored_
+            << " discarded=" << discarded_ << "\n";
+}
+
+std::string ResultStore::file_path() const {
+  return (std::filesystem::path(dir_) / kFileName).string();
+}
+
+void ResultStore::load_locked() {
+  if (loaded_) return;
+  loaded_ = true;
+  file_valid_ = false;
+  std::ifstream in(file_path());
+  if (!in.is_open()) return;  // nothing cached yet
+
+  std::string line;
+  if (!std::getline(in, line)) return;  // empty file
+  const std::optional<JsonValue> header = parse_json(line);
+  if (!header) {
+    ++discarded_;
+    return;
+  }
+  const JsonValue* format = header->find("format");
+  const JsonValue* version = header->find("version");
+  const JsonValue* build = header->find("build");
+  if (!format || format->kind != JsonValue::Kind::kString ||
+      format->text != kFormatName || !version ||
+      version->as_u64() != std::optional<std::uint64_t>{kFormatVersion} ||
+      !build || build->kind != JsonValue::Kind::kString ||
+      build->text != build_) {
+    // Different format/version or a different build of the simulator:
+    // everything below is untrusted. Not an error — the next put()
+    // rewrites the file for this build.
+    ++discarded_;
+    return;
+  }
+  file_valid_ = true;
+
+  while (std::getline(in, line)) {
+    const std::optional<JsonValue> entry = parse_json(line);
+    if (!entry) {
+      // Truncated tail or interleaved write: skip, keep what parsed.
+      ++discarded_;
+      continue;
+    }
+    const JsonValue* key = entry->find("key");
+    const JsonValue* result = entry->find("result");
+    if (!key || key->kind != JsonValue::Kind::kString || !result) {
+      ++discarded_;
+      continue;
+    }
+    std::optional<ExperimentResult> parsed = result_from_json(*result);
+    if (!parsed) {
+      ++discarded_;
+      continue;
+    }
+    entries_.emplace(key->text, std::move(*parsed));
+  }
+}
+
+bool ResultStore::open_for_append_locked() {
+  if (out_.is_open()) return out_.good();
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // best effort
+  if (!file_valid_) {
+    // Fresh file (or stale build): truncate and stamp the header.
+    out_.open(file_path(), std::ios::out | std::ios::trunc);
+    if (!out_.is_open()) return false;
+    std::ostringstream header;
+    header << "{\"format\":\"" << kFormatName
+           << "\",\"version\":" << kFormatVersion << ",\"build\":";
+    append_escaped(header, build_);
+    header << "}";
+    out_ << header.str() << "\n";
+    out_.flush();
+    file_valid_ = out_.good();
+    return file_valid_;
+  }
+  out_.open(file_path(), std::ios::out | std::ios::app);
+  return out_.is_open();
+}
+
+std::optional<ExperimentResult> ResultStore::get(const SweepPoint& point) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  load_locked();
+  const auto it = entries_.find(canonical_point_key(point));
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void ResultStore::put(const SweepPoint& point, const ExperimentResult& result) {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  load_locked();
+  const std::string key = canonical_point_key(point);
+  if (entries_.contains(key)) return;  // deterministic: already identical
+  entries_.emplace(key, result);
+  if (!open_for_append_locked()) return;  // unwritable dir: cache in RAM only
+  std::ostringstream line;
+  line << "{\"key\":";
+  append_escaped(line, key);
+  line << ",\"result\":" << result_to_cache_json(result) << "}";
+  out_ << line.str() << "\n";
+  out_.flush();
+  if (out_.good()) ++stored_;
+}
+
+std::size_t ResultStore::hits() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return hits_;
+}
+std::size_t ResultStore::misses() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return misses_;
+}
+std::size_t ResultStore::stored() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return stored_;
+}
+std::size_t ResultStore::discarded() const {
+  const std::lock_guard<std::mutex> guard(mutex_);
+  return discarded_;
+}
+
+}  // namespace hlock::harness

@@ -1,0 +1,115 @@
+// Durable cross-invocation cache for sweep results.
+//
+// Every figure in the paper is a sweep of independent deterministic
+// simulations, so a (protocol, full ClusterConfig) point computed by one
+// process invocation is bit-identical in the next — as long as the binary
+// itself didn't change. ResultStore persists ExperimentResults across
+// invocations in a versioned JSON-lines file:
+//
+//   <cache-dir>/results.jsonl
+//     {"format":"hlock-result-cache","version":1,"build":"<hash>"}
+//     {"key":"<canonical point key>","result":{...exact fields...}}
+//     ...
+//
+// * The key is the full field-wise SweepPoint identity serialized
+//   canonically (protocol + every ClusterConfig / WorkloadSpec /
+//   EngineOptions field, doubles in round-trip-exact form) — two points
+//   share an entry only when every parameter of the run is identical.
+// * The build hash (git HEAD + dirty flag + compiler id, stamped at
+//   CMake configure time) invalidates the whole file: results from a
+//   different build are never served.
+// * Values round-trip exactly: per-kind message counts and full Summary
+//   internal state (samples + running sums) are stored, so a cache-hit
+//   rerun of a figure binary is byte-identical to the cold run.
+// * Robustness over errors: a corrupt, truncated, version-mismatched or
+//   stale-build file degrades to cache misses (and is rewritten on the
+//   next put) — it never throws out of load.
+//
+// Thread safety: all public methods are mutex-serialized; concurrent
+// sweep workers may get/put freely. Cross-process appends go through a
+// single flushed write per entry in O_APPEND mode, so parallel
+// invocations sharing a directory at worst interleave whole lines.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "harness/experiment.hpp"
+#include "harness/metrics.hpp"
+
+namespace hlock::harness {
+
+struct SweepPoint;
+
+/// Compiled-in build identity: "<git-head>[-dirty]-<compiler>-<version>",
+/// stamped by the CMake configure step (see build_info.cpp.in). Reruns of
+/// an unchanged build reuse cached results; any rebuild from different
+/// sources gets a different hash and recomputes.
+const char* build_hash();
+
+/// Canonical serialization of the full point identity. Injective: every
+/// field is emitted (doubles in shortest round-trip form), so distinct
+/// configurations always produce distinct keys.
+std::string canonical_point_key(const SweepPoint& point);
+
+/// Exact JSON form of a result for the cache file (all fields, full
+/// Summary state) and its inverse. parse returns nullopt on any
+/// missing/ill-typed field.
+std::string result_to_cache_json(const ExperimentResult& result);
+std::optional<ExperimentResult> result_from_cache_json(const std::string& json);
+
+class ResultStore {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Opens (creating lazily) the cache under `dir`. `build` defaults to
+  /// the compiled-in build_hash(); tests and tools may pin their own.
+  explicit ResultStore(std::string dir, std::string build = build_hash());
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// Cached result for this exact point under the current build hash.
+  std::optional<ExperimentResult> get(const SweepPoint& point);
+
+  /// Write-through: remember in memory and append to the file. Overwrites
+  /// nothing — the first stored result for a key wins (they are
+  /// deterministic, so later ones are identical anyway).
+  void put(const SweepPoint& point, const ExperimentResult& result);
+
+  [[nodiscard]] const std::string& directory() const { return dir_; }
+  [[nodiscard]] std::string file_path() const;
+
+  // Lifetime counters (telemetry + tests).
+  [[nodiscard]] std::size_t hits() const;
+  [[nodiscard]] std::size_t misses() const;
+  [[nodiscard]] std::size_t stored() const;
+  /// Entries discarded while loading (corrupt lines, wrong version or
+  /// build hash).
+  [[nodiscard]] std::size_t discarded() const;
+
+ private:
+  void load_locked();
+  bool open_for_append_locked();
+
+  mutable std::mutex mutex_;
+  std::string dir_;
+  std::string build_;
+  bool loaded_{false};
+  /// File content is valid for this build; false forces a header rewrite
+  /// before the first append.
+  bool file_valid_{false};
+  std::ofstream out_;
+  std::unordered_map<std::string, ExperimentResult> entries_;
+  std::size_t hits_{0};
+  std::size_t misses_{0};
+  std::size_t stored_{0};
+  std::size_t discarded_{0};
+};
+
+}  // namespace hlock::harness

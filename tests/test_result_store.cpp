@@ -1,0 +1,295 @@
+// ResultStore: the on-disk sweep cache must round-trip results exactly
+// (field-wise equality down to Summary internal state), serve warm runs
+// with zero simulations, invalidate on build-hash changes, and degrade
+// corrupt/truncated/stale files to recomputation — never to errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/result_store.hpp"
+#include "harness/sweep_runner.hpp"
+
+using namespace hlock;
+using namespace hlock::harness;
+
+namespace {
+
+workload::WorkloadSpec small_spec() {
+  workload::WorkloadSpec spec;
+  spec.ops_per_node = 15;
+  return spec;
+}
+
+/// Fresh empty directory per test, removed on teardown.
+class ResultStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::path(::testing::TempDir()) /
+            ("hlock-store-" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string file() const {
+    return (std::filesystem::path(dir_) / "results.jsonl").string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResultStoreTest, CacheJsonRoundTripsExactly) {
+  // A lossy point exercises every field: drops, per-kind counts, the
+  // reliability sublayer's message kinds, non-trivial latency summaries.
+  SweepPoint p = make_point(Protocol::kHls, 6, small_spec());
+  p.config.loss_rate = 0.05;
+  const ExperimentResult original = run_experiment(p.protocol, p.config);
+
+  const std::string json = result_to_cache_json(original);
+  const auto restored = result_from_cache_json(json);
+  ASSERT_TRUE(restored.has_value());
+  // Field-wise equality down to Summary internals (samples + running
+  // sums) — the warm-run byte-identity guarantee rests on this.
+  EXPECT_TRUE(original == *restored);
+  // Including derived statistics computed from the restored state:
+  EXPECT_EQ(original.latency_factor.mean(), restored->latency_factor.mean());
+  EXPECT_EQ(original.latency_factor.stddev(),
+            restored->latency_factor.stddev());
+  EXPECT_EQ(original.latency_factor.percentile(0.95),
+            restored->latency_factor.percentile(0.95));
+}
+
+TEST_F(ResultStoreTest, PutThenGetAcrossInstances) {
+  const SweepPoint p = make_point(Protocol::kNaimiPure, 4, small_spec());
+  const ExperimentResult result = run_experiment(p.protocol, p.config);
+  {
+    ResultStore store(dir_, "hash-a");
+    EXPECT_FALSE(store.get(p).has_value());
+    store.put(p, result);
+    EXPECT_EQ(store.stored(), 1u);
+  }
+  ResultStore reopened(dir_, "hash-a");
+  const auto cached = reopened.get(p);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_TRUE(result == *cached);
+  EXPECT_EQ(reopened.hits(), 1u);
+}
+
+TEST_F(ResultStoreTest, WarmRunPerformsZeroSimulations) {
+  const workload::WorkloadSpec spec = small_spec();
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : {2ul, 4ul, 8ul})
+    points.push_back(make_point(Protocol::kHls, n, spec));
+
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache_dir = dir_;
+  opts.cache_build_hash = "hash-a";
+
+  SweepRunner cold(opts);
+  const auto cold_results = cold.run(points);
+  EXPECT_EQ(cold.evaluations(), points.size());
+  EXPECT_EQ(cold.disk_stored(), points.size());
+
+  SweepRunner warm(opts);
+  const auto warm_results = warm.run(points);
+  // Zero simulations: every point came off disk.
+  EXPECT_EQ(warm.evaluations(), 0u);
+  EXPECT_EQ(warm.disk_hits(), points.size());
+  ASSERT_EQ(warm_results.size(), cold_results.size());
+  for (std::size_t i = 0; i < cold_results.size(); ++i)
+    EXPECT_TRUE(cold_results[i] == warm_results[i]) << "point " << i;
+}
+
+TEST_F(ResultStoreTest, BuildHashMismatchForcesRecompute) {
+  const SweepPoint p = make_point(Protocol::kHls, 4, small_spec());
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache_dir = dir_;
+
+  opts.cache_build_hash = "build-a";
+  SweepRunner first(opts);
+  const auto a = first.run({p});
+  EXPECT_EQ(first.evaluations(), 1u);
+
+  // A different build hash must not serve build-a's entries.
+  opts.cache_build_hash = "build-b";
+  SweepRunner second(opts);
+  const auto b = second.run({p});
+  EXPECT_EQ(second.evaluations(), 1u);
+  EXPECT_EQ(second.disk_hits(), 0u);
+  EXPECT_TRUE(a[0] == b[0]);  // deterministic simulation regardless
+
+  // build-b rewrote the file for itself; a third build-b runner hits.
+  SweepRunner third(opts);
+  third.run({p});
+  EXPECT_EQ(third.evaluations(), 0u);
+  EXPECT_EQ(third.disk_hits(), 1u);
+}
+
+TEST_F(ResultStoreTest, CorruptFileDegradesToMiss) {
+  std::filesystem::create_directories(dir_);
+  std::ofstream(file()) << "this is not json\n{\"nor\":\"this\"\n";
+  ResultStore store(dir_, "hash-a");
+  const SweepPoint p = make_point(Protocol::kHls, 2, small_spec());
+  EXPECT_FALSE(store.get(p).has_value());  // no throw, just a miss
+  EXPECT_GE(store.discarded(), 1u);
+
+  // And the store recovers: a put rewrites the file usably.
+  const ExperimentResult result = run_experiment(p.protocol, p.config);
+  store.put(p, result);
+  ResultStore reopened(dir_, "hash-a");
+  EXPECT_TRUE(reopened.get(p).has_value());
+}
+
+TEST_F(ResultStoreTest, TruncatedTailKeepsEarlierEntries) {
+  const SweepPoint p1 = make_point(Protocol::kHls, 2, small_spec());
+  const SweepPoint p2 = make_point(Protocol::kHls, 3, small_spec());
+  const ExperimentResult r1 = run_experiment(p1.protocol, p1.config);
+  const ExperimentResult r2 = run_experiment(p2.protocol, p2.config);
+  {
+    ResultStore store(dir_, "hash-a");
+    store.put(p1, r1);
+    store.put(p2, r2);
+  }
+  // Chop the file mid-way through the last line (a crashed writer).
+  const auto size = std::filesystem::file_size(file());
+  std::filesystem::resize_file(file(), size - 40);
+
+  ResultStore store(dir_, "hash-a");
+  const auto cached1 = store.get(p1);
+  ASSERT_TRUE(cached1.has_value());
+  EXPECT_TRUE(r1 == *cached1);
+  EXPECT_FALSE(store.get(p2).has_value());  // truncated entry: a miss
+  EXPECT_EQ(store.discarded(), 1u);
+}
+
+TEST_F(ResultStoreTest, VersionMismatchInvalidatesWholeFile) {
+  const SweepPoint p = make_point(Protocol::kHls, 2, small_spec());
+  const ExperimentResult r = run_experiment(p.protocol, p.config);
+  {
+    ResultStore store(dir_, "hash-a");
+    store.put(p, r);
+  }
+  // Bump the version in the header; everything below is untrusted.
+  std::ifstream in(file());
+  std::string header, rest, line;
+  std::getline(in, header);
+  while (std::getline(in, line)) rest += line + "\n";
+  in.close();
+  const auto at = header.find("\"version\":1");
+  ASSERT_NE(at, std::string::npos);
+  header.replace(at, 11, "\"version\":9");
+  std::ofstream(file()) << header << "\n" << rest;
+
+  ResultStore store(dir_, "hash-a");
+  EXPECT_FALSE(store.get(p).has_value());
+}
+
+TEST_F(ResultStoreTest, ConcurrentWritersDontCorruptTheStore) {
+  // Distinct points computed on 8 workers, all writing through the same
+  // store. Every entry must be present and parseable afterwards. (The
+  // TSan CI job runs this test to prove data-race freedom.)
+  const workload::WorkloadSpec spec = small_spec();
+  std::vector<SweepPoint> points;
+  for (const std::size_t n : {2ul, 3ul, 4ul, 5ul, 6ul, 8ul, 10ul, 12ul}) {
+    points.push_back(make_point(Protocol::kHls, n, spec));
+    points.push_back(make_point(Protocol::kNaimiPure, n, spec));
+  }
+
+  SweepOptions opts;
+  opts.threads = 8;
+  opts.cache_dir = dir_;
+  opts.cache_build_hash = "hash-a";
+  SweepRunner writers(opts);
+  const auto computed = writers.run(points);
+  EXPECT_EQ(writers.disk_stored(), points.size());
+
+  SweepRunner readers(opts);
+  const auto reloaded = readers.run(points);
+  EXPECT_EQ(readers.evaluations(), 0u);
+  EXPECT_EQ(readers.disk_hits(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_TRUE(computed[i] == reloaded[i]) << "point " << i;
+}
+
+TEST_F(ResultStoreTest, CanonicalKeyCoversEveryField) {
+  const SweepPoint base = make_point(Protocol::kHls, 8, small_spec());
+  const std::string base_key = canonical_point_key(base);
+
+  std::vector<SweepPoint> variants;
+  {
+    SweepPoint v = base;
+    v.protocol = Protocol::kNaimiPure;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.nodes = 9;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.latency = LatencyKind::kConstant;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.loss_rate = 0.01;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.spec.seed = 99;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.spec.p_entry_read = 0.79;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.spec.home_bias = 0.25;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.engine_opts.enable_freezing = false;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.engine_opts.enable_priorities = true;
+    variants.push_back(v);
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    EXPECT_NE(canonical_point_key(variants[i]), base_key) << "variant " << i;
+  // Identical points produce identical keys.
+  EXPECT_EQ(canonical_point_key(base), base_key);
+}
+
+TEST_F(ResultStoreTest, UnwritableDirectoryIsNotAnError) {
+  // The cache is best-effort: an unusable directory must not break the
+  // sweep itself.
+  SweepOptions opts;
+  opts.threads = 1;
+  opts.cache_dir = "/proc/definitely-not-writable/cache";
+  opts.cache_build_hash = "hash-a";
+  SweepRunner runner(opts);
+  const SweepPoint p = make_point(Protocol::kHls, 2, small_spec());
+  const auto results = runner.run({p});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(runner.evaluations(), 1u);
+  EXPECT_EQ(runner.disk_stored(), 0u);
+}
+
+}  // namespace

@@ -1,14 +1,37 @@
 #include <iostream>
+#include "common/parse.hpp"
 #include "harness/cluster.hpp"
 #include "harness/invariants.hpp"
 using namespace hlock;
 using namespace hlock::harness;
 
+namespace {
+// Positional args parsed strictly — std::stoul would terminate with an
+// uncaught std::invalid_argument on garbage; exit 2 with usage instead.
+template <typename T>
+T arg_or(int argc, char** argv, int index, T fallback,
+         std::optional<T> (*parse)(const std::string&)) {
+  if (argc <= index) return fallback;
+  const auto v = parse(argv[index]);
+  if (!v) {
+    std::cerr << "error: argument " << index << " ('" << argv[index]
+              << "') must be an unsigned integer\n"
+              << "usage: debug_trace [nodes] [seed] [ops]\n";
+    std::exit(2);
+  }
+  return *v;
+}
+std::optional<std::uint64_t> parse_seed(const std::string& s) {
+  return try_parse_u64(s, 0);
+}
+}  // namespace
+
 int main(int argc, char** argv) {
   ClusterConfig c;
-  c.nodes = argc > 1 ? std::stoul(argv[1]) : 2;
-  c.spec.seed = argc > 2 ? std::stoull(argv[2]) : 2;
-  c.spec.ops_per_node = argc > 3 ? std::stoul(argv[3]) : 15;
+  c.nodes = arg_or<std::size_t>(argc, argv, 1, 2, &try_parse_size);
+  c.spec.seed = arg_or<std::uint64_t>(argc, argv, 2, 2, &parse_seed);
+  c.spec.ops_per_node = arg_or<std::uint32_t>(
+      argc, argv, 3, 15, [](const std::string& s) { return try_parse_u32(s, 10); });
   HlsCluster cluster(c);
   cluster.network().on_deliver = [&](NodeId f, NodeId t, const Message& m) {
     std::cout << cluster.simulator().now() << " lock" << m.lock.value

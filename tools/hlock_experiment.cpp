@@ -17,7 +17,13 @@
 //   --priorities       enable priority arbitration
 //   --sweep            run the standard node-count sweep instead of one n
 //   --threads N        sweep worker threads (0 = hardware concurrency)
+//   --cache-dir D      persist results across invocations (ResultStore);
+//                      HLOCK_CACHE_DIR=D works too (empty = .hlock-cache)
+//   --no-disk-cache    ignore --cache-dir / HLOCK_CACHE_DIR
 //   --json             emit JSON instead of the ASCII table
+//
+// Numeric values are validated strictly; `--nodes abc` is a usage error
+// (exit 2), not a silently defaulted run.
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -25,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "harness/experiment.hpp"
 #include "harness/json.hpp"
 #include "harness/sweep_runner.hpp"
@@ -43,12 +50,46 @@ struct Options {
   bool sweep = false;
   bool json = false;
   std::size_t threads = 0;
+  std::string cache_dir;
+  bool disk_cache = true;
 };
 
 [[noreturn]] void usage_error(const std::string& what) {
   std::cerr << "error: " << what << " (see the header of this tool's "
             << "source for options)\n";
   std::exit(2);
+}
+
+// Strict parses: the whole token must be a number, or it's a usage error
+// — std::stoul would throw uncaught on garbage and terminate, and
+// silently accept trailing junk ("12x" -> 12).
+std::size_t parse_size(const std::string& flag, const std::string& text) {
+  const auto v = try_parse_size(text);
+  if (!v)
+    usage_error(flag + " expects an unsigned integer, got '" + text + "'");
+  return *v;
+}
+
+std::uint32_t parse_u32(const std::string& flag, const std::string& text) {
+  const auto v = try_parse_u32(text);
+  if (!v)
+    usage_error(flag + " expects an unsigned 32-bit integer, got '" + text +
+                "'");
+  return *v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text,
+                        int base = 10) {
+  const auto v = try_parse_u64(text, base);
+  if (!v)
+    usage_error(flag + " expects an unsigned integer, got '" + text + "'");
+  return *v;
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  const auto v = try_parse_double(text);
+  if (!v) usage_error(flag + " expects a number, got '" + text + "'");
+  return *v;
 }
 
 Options parse(int argc, char** argv) {
@@ -68,29 +109,32 @@ Options parse(int argc, char** argv) {
         opt.protocol = Protocol::kNaimiSameWork;
       else usage_error("unknown protocol " + p);
     } else if (arg == "--nodes") {
-      opt.nodes = std::stoul(value());
+      opt.nodes = parse_size(arg, value());
     } else if (arg == "--ops") {
-      opt.spec.ops_per_node = static_cast<std::uint32_t>(std::stoul(value()));
+      opt.spec.ops_per_node = parse_u32(arg, value());
     } else if (arg == "--seed") {
-      opt.spec.seed = std::stoull(value());
+      opt.spec.seed = parse_u64(arg, value(), 0);
     } else if (arg == "--loss") {
-      opt.loss = std::stod(value());
+      opt.loss = parse_double(arg, value());
     } else if (arg == "--cs") {
-      opt.spec.cs_mean = msec(std::stol(value()));
+      opt.spec.cs_mean = msec(static_cast<std::int64_t>(
+          parse_u64(arg, value())));
     } else if (arg == "--idle") {
-      opt.spec.idle_mean = msec(std::stol(value()));
+      opt.spec.idle_mean = msec(static_cast<std::int64_t>(
+          parse_u64(arg, value())));
     } else if (arg == "--latency") {
-      opt.spec.net_latency_mean = msec(std::stol(value()));
+      opt.spec.net_latency_mean = msec(static_cast<std::int64_t>(
+          parse_u64(arg, value())));
     } else if (arg == "--home-bias") {
-      opt.spec.home_bias = std::stod(value());
+      opt.spec.home_bias = parse_double(arg, value());
     } else if (arg == "--entries") {
-      opt.spec.entries_per_node =
-          static_cast<std::uint32_t>(std::stoul(value()));
+      opt.spec.entries_per_node = parse_u32(arg, value());
     } else if (arg == "--mix") {
       std::istringstream in(value());
       std::string part;
       std::vector<double> parts;
-      while (std::getline(in, part, ',')) parts.push_back(std::stod(part));
+      while (std::getline(in, part, ','))
+        parts.push_back(parse_double("--mix", part));
       if (parts.size() != 5) usage_error("--mix expects 5 comma values");
       opt.spec.p_entry_read = parts[0];
       opt.spec.p_table_read = parts[1];
@@ -110,13 +154,23 @@ Options parse(int argc, char** argv) {
     } else if (arg == "--sweep") {
       opt.sweep = true;
     } else if (arg == "--threads") {
-      opt.threads = std::stoul(value());
+      opt.threads = parse_size(arg, value());
+    } else if (arg == "--cache-dir") {
+      opt.cache_dir = value();
+      if (opt.cache_dir.empty()) usage_error("--cache-dir expects a directory");
+    } else if (arg == "--no-disk-cache") {
+      opt.disk_cache = false;
     } else if (arg == "--json") {
       opt.json = true;
     } else {
       usage_error("unknown argument " + arg);
     }
   }
+  if (opt.cache_dir.empty()) {
+    if (const char* env = std::getenv("HLOCK_CACHE_DIR"))
+      opt.cache_dir = *env != '\0' ? env : ".hlock-cache";
+  }
+  if (!opt.disk_cache) opt.cache_dir.clear();
   opt.spec.validate();
   return opt;
 }
@@ -145,6 +199,7 @@ int main(int argc, char** argv) {
   }
   SweepOptions sweep_opts;
   sweep_opts.threads = opt.threads;
+  sweep_opts.cache_dir = opt.cache_dir;
   SweepRunner runner(sweep_opts);
   const std::vector<ExperimentResult> results = runner.run(points);
 

@@ -27,12 +27,32 @@
 #include <thread>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "corba/concurrency.hpp"
 #include "net/tcp_node.hpp"
 
 using namespace hlock;
 
 namespace {
+
+// Strict flag parses: std::stoul would throw an unhelpful
+// std::invalid_argument on garbage and silently accept trailing junk
+// ("70x0" -> 70); these reject anything that isn't entirely a number.
+std::uint32_t parse_u32(const std::string& flag, const std::string& text) {
+  const auto v = try_parse_u32(text);
+  if (!v)
+    throw std::invalid_argument(flag + " expects an unsigned integer, got '" +
+                                text + "'");
+  return *v;
+}
+
+std::uint16_t parse_u16(const std::string& flag, const std::string& text) {
+  const auto v = try_parse_u16(text);
+  if (!v)
+    throw std::invalid_argument(flag + " expects a port number, got '" +
+                                text + "'");
+  return *v;
+}
 
 Mode parse_mode(const std::string& s) {
   if (s == "IR") return Mode::kIR;
@@ -59,22 +79,21 @@ Options parse_args(int argc, char** argv) {
       return argv[i];
     };
     if (arg == "--id") {
-      opt.id = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.id = parse_u32(arg, next());
     } else if (arg == "--port") {
-      opt.port = static_cast<std::uint16_t>(std::stoul(next()));
+      opt.port = parse_u16(arg, next());
     } else if (arg == "--locks") {
-      opt.locks = static_cast<std::uint32_t>(std::stoul(next()));
+      opt.locks = parse_u32(arg, next());
     } else if (arg == "--peer") {
       const std::string spec = next();  // id=host:port
       const auto eq = spec.find('=');
       const auto colon = spec.find(':', eq);
       if (eq == std::string::npos || colon == std::string::npos)
         throw std::invalid_argument("--peer expects id=host:port");
-      const NodeId pid{static_cast<std::uint32_t>(
-          std::stoul(spec.substr(0, eq)))};
+      const NodeId pid{parse_u32("--peer id", spec.substr(0, eq))};
       opt.peers[pid] = net::PeerAddress{
           spec.substr(eq + 1, colon - eq - 1),
-          static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)))};
+          parse_u16("--peer port", spec.substr(colon + 1))};
     } else {
       throw std::invalid_argument("unknown argument: " + arg);
     }
