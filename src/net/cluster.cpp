@@ -1,14 +1,15 @@
 #include "net/cluster.hpp"
 
+#include <algorithm>
 #include <map>
 
 namespace hlock::net {
 
-InProcessCluster::InProcessCluster(std::size_t nodes) {
+InProcessCluster::InProcessCluster(std::size_t nodes, TcpConfig cfg) {
   nodes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
-    nodes_.push_back(
-        std::make_unique<TcpNode>(NodeId{static_cast<std::uint32_t>(i)}));
+    nodes_.push_back(std::make_unique<TcpNode>(
+        NodeId{static_cast<std::uint32_t>(i)}, /*port=*/0, cfg));
   }
   std::map<NodeId, PeerAddress> book;
   for (std::size_t i = 0; i < nodes; ++i) {
@@ -24,6 +25,31 @@ InProcessCluster::InProcessCluster(std::size_t nodes) {
   for (auto& node : nodes_) {
     threads_.emplace_back([n = node.get()] { n->loop().run(); });
   }
+}
+
+TcpStats InProcessCluster::total_stats() const {
+  TcpStats total;
+  for (const auto& node : nodes_) {
+    const TcpStats s = node->stats();
+    total.dials += s.dials;
+    total.connect_failures += s.connect_failures;
+    total.connects += s.connects;
+    total.accepts += s.accepts;
+    total.reconnects += s.reconnects;
+    total.frames_out += s.frames_out;
+    total.frames_in += s.frames_in;
+    total.bytes_out += s.bytes_out;
+    total.bytes_in += s.bytes_in;
+    total.decode_errors += s.decode_errors;
+    total.requeued_frames += s.requeued_frames;
+    total.heartbeats_sent += s.heartbeats_sent;
+    total.idle_closes += s.idle_closes;
+    total.outbox_high_water =
+        std::max(total.outbox_high_water, s.outbox_high_water);
+    total.pending_high_water =
+        std::max(total.pending_high_water, s.pending_high_water);
+  }
+  return total;
 }
 
 void InProcessCluster::stop() {

@@ -14,13 +14,18 @@ namespace hlock::net {
 
 class InProcessCluster {
  public:
-  explicit InProcessCluster(std::size_t nodes);
+  /// `cfg` is applied to every node (tests use fast reconnect/heartbeat
+  /// settings; the defaults suit interactive use).
+  explicit InProcessCluster(std::size_t nodes, TcpConfig cfg = {});
   ~InProcessCluster();
   InProcessCluster(const InProcessCluster&) = delete;
   InProcessCluster& operator=(const InProcessCluster&) = delete;
 
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] TcpNode& node(std::size_t i) { return *nodes_[i]; }
+
+  /// Sum of every node's transport counters (for post-run assertions).
+  [[nodiscard]] TcpStats total_stats() const;
 
   /// Stop every loop and join the threads (idempotent; the destructor
   /// calls it too).

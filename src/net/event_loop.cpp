@@ -44,6 +44,17 @@ void EventLoop::schedule(Duration delay, std::function<void()> fn) {
   timers_.push(Timer{now() + delay, timer_seq_++, std::move(fn)});
 }
 
+std::uint64_t EventLoop::schedule_cancellable(Duration delay,
+                                              std::function<void()> fn) {
+  const std::uint64_t id = timer_seq_++;
+  timers_.push(Timer{now() + delay, id, std::move(fn)});
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  if (id < timer_seq_) cancelled_timers_.insert(id);
+}
+
 TimePoint EventLoop::now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - epoch_)
@@ -62,7 +73,9 @@ void EventLoop::drain_posted() {
 void EventLoop::fire_due_timers() {
   while (!timers_.empty() && timers_.top().due <= now()) {
     auto fn = timers_.top().fn;
+    const std::uint64_t id = timers_.top().seq;
     timers_.pop();
+    if (cancelled_timers_.erase(id) != 0) continue;
     fn();
   }
 }
@@ -109,6 +122,11 @@ void EventLoop::run() {
       const auto it = watches_.find(order[i]);
       if (it == watches_.end()) continue;
       auto fn = it->second.second;
+      // POLLNVAL means the fd was closed while still watched (a stale
+      // registration). Drop the watch before dispatching so a callback
+      // that no longer recognises the fd cannot leave the loop spinning
+      // on an invalid pollfd forever.
+      if (revents & POLLNVAL) unwatch(order[i]);
       fn(static_cast<std::uint32_t>(revents));
     }
   }

@@ -12,6 +12,7 @@
 #include <map>
 #include <mutex>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "common/executor.hpp"
@@ -41,6 +42,12 @@ class EventLoop final : public Executor {
   void schedule(Duration delay, std::function<void()> fn) override;
   [[nodiscard]] TimePoint now() const override;
 
+  /// Like schedule(), but returns a token the caller may later pass to
+  /// cancel_timer() (loop thread only). Tokens are never reused.
+  std::uint64_t schedule_cancellable(Duration delay, std::function<void()> fn);
+  /// Drop a pending timer; a no-op if it already fired or was cancelled.
+  void cancel_timer(std::uint64_t id);
+
   /// Process events until stop() is called.
   void run();
   /// Request the loop to exit. Thread-safe.
@@ -69,6 +76,9 @@ class EventLoop final : public Executor {
   std::map<int, std::pair<short, IoFn>> watches_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
   std::uint64_t timer_seq_{0};
+  /// Tokens cancelled while still queued; entries are erased when the
+  /// matching heap entry pops (the heap itself has no random removal).
+  std::set<std::uint64_t> cancelled_timers_;
   std::mutex posted_mutex_;
   std::vector<std::function<void()>> posted_;
   std::atomic<bool> running_{false};

@@ -4,15 +4,42 @@
 
 namespace hlock::net {
 
-std::vector<std::uint8_t> frame(const Message& m) {
-  // encoded_size() is exact, so prefix and payload go into one buffer
-  // with a single allocation (ByteWriter::u32 is little-endian, matching
-  // the prefix FrameDecoder::next expects).
+std::vector<std::uint8_t> frame(const Message& m, std::uint64_t seq) {
+  // encoded_size() is exact, so prefix, sequence number, and payload go
+  // into one buffer with a single allocation (ByteWriter::u32 is
+  // little-endian, matching the prefix FrameDecoder expects).
   const std::size_t payload = encoded_size(m);
   ByteWriter w;
-  w.reserve(payload + 4);
-  w.u32(static_cast<std::uint32_t>(payload));
+  w.reserve(payload + 12);
+  w.u32(static_cast<std::uint32_t>(payload + 8));
+  w.u64(seq);
   encode_into(w, m);
+  return w.take();
+}
+
+std::vector<std::uint8_t> hello_frame(NodeId self) {
+  ByteWriter w;
+  w.reserve(4 + 1 + 4);
+  w.u32(kControlFrameBit | 5u);
+  w.u8(static_cast<std::uint8_t>(ControlOp::kHello));
+  w.u32(self.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> ping_frame() {
+  ByteWriter w;
+  w.reserve(4 + 1);
+  w.u32(kControlFrameBit | 1u);
+  w.u8(static_cast<std::uint8_t>(ControlOp::kPing));
+  return w.take();
+}
+
+std::vector<std::uint8_t> ack_frame(std::uint64_t seq) {
+  ByteWriter w;
+  w.reserve(4 + 1 + 8);
+  w.u32(kControlFrameBit | 9u);
+  w.u8(static_cast<std::uint8_t>(ControlOp::kAck));
+  w.u64(seq);
   return w.take();
 }
 
@@ -28,18 +55,56 @@ void FrameDecoder::compact() {
   }
 }
 
-bool FrameDecoder::next(Message& out) {
+bool FrameDecoder::next_frame(DecodedFrame& out) {
   if (buffered() < 4) return false;
   const std::uint8_t* p = buf_.data() + pos_;
-  const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
-                            (static_cast<std::uint32_t>(p[1]) << 8) |
-                            (static_cast<std::uint32_t>(p[2]) << 16) |
-                            (static_cast<std::uint32_t>(p[3]) << 24);
-  if (len > kMaxFrameBytes) throw DecodeError("oversized frame");
+  const std::uint32_t prefix = static_cast<std::uint32_t>(p[0]) |
+                               (static_cast<std::uint32_t>(p[1]) << 8) |
+                               (static_cast<std::uint32_t>(p[2]) << 16) |
+                               (static_cast<std::uint32_t>(p[3]) << 24);
+  const bool control = (prefix & kControlFrameBit) != 0;
+  const std::uint32_t len = prefix & ~kControlFrameBit;
+  if (control) {
+    if (len == 0 || len > kMaxControlBytes)
+      throw DecodeError("bad control frame length");
+  } else if (len > kMaxFrameBytes) {
+    throw DecodeError("oversized frame");
+  }
   if (buffered() < 4 + static_cast<std::size_t>(len)) return false;
-  out = decode(p + 4, len);
+  if (control) {
+    ByteReader r(p + 4, len);
+    const auto op = r.u8();
+    switch (static_cast<ControlOp>(op)) {
+      case ControlOp::kHello:
+        out.hello_node = NodeId{r.u32()};
+        break;
+      case ControlOp::kPing:
+        break;
+      case ControlOp::kAck:
+        out.ack_seq = r.u64();
+        break;
+      default:
+        throw DecodeError("unknown control op");
+    }
+    if (!r.done()) throw DecodeError("trailing bytes in control frame");
+    out.control = true;
+    out.op = static_cast<ControlOp>(op);
+  } else {
+    if (len < 8) throw DecodeError("data frame too short for sequence");
+    out.seq = ByteReader(p + 4, 8).u64();
+    out.msg = decode(p + 12, len - 8);
+    out.control = false;
+  }
   pos_ += 4 + len;
   compact();
+  return true;
+}
+
+bool FrameDecoder::next(Message& out) {
+  DecodedFrame f;
+  if (!next_frame(f)) return false;
+  if (f.control) throw DecodeError("unexpected control frame");
+  out = std::move(f.msg);
   return true;
 }
 

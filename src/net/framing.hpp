@@ -1,7 +1,22 @@
 // Stream framing for the TCP transport: each frame is a 4-byte little-
-// endian payload length followed by an encode()d Message. The decoder is
-// incremental — feed it whatever recv() returned and collect complete
-// frames.
+// endian prefix followed by a payload. The prefix's top bit selects the
+// frame class:
+//
+//   bit 31 clear — protocol frame: payload is a u64 per-peer sequence
+//     number followed by an encode()d Message; the low 31 bits are the
+//     payload length (capped at kMaxFrameBytes). The sequence number lets
+//     the receiver deduplicate retransmissions after a connection dies
+//     (TCP alone cannot give exactly-once across an abortive close: an RST
+//     discards both the sender's untransmitted sndbuf and the receiver's
+//     unread rcvbuf).
+//   bit 31 set — transport control frame: payload is a 1-byte ControlOp
+//     plus an op-specific body (hello carries the sender's NodeId, ping is
+//     empty, ack carries a cumulative sequence number). Control frames
+//     never reach the protocol engines, so a handshake can never collide
+//     with a real lock id.
+//
+// The decoder is incremental — feed it whatever recv() returned and
+// collect complete frames.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +26,47 @@
 
 namespace hlock::net {
 
-/// Hard cap on a single frame; a TOKEN message carrying a full queue for
-/// hundreds of nodes stays far below this.
+/// Hard cap on a single protocol frame; a TOKEN message carrying a full
+/// queue for hundreds of nodes stays far below this.
 inline constexpr std::uint32_t kMaxFrameBytes = 16 * 1024 * 1024;
 
-/// Serialize one message into a ready-to-send frame.
-std::vector<std::uint8_t> frame(const Message& m);
+/// Length-prefix bit marking a transport control frame.
+inline constexpr std::uint32_t kControlFrameBit = 0x8000'0000u;
+
+/// Control payloads are tiny; anything larger is a corrupt stream.
+inline constexpr std::uint32_t kMaxControlBytes = 64;
+
+/// Transport-level control opcodes (first payload byte of a control frame).
+enum class ControlOp : std::uint8_t {
+  kHello = 1,  ///< body: u32 sender NodeId — connection handshake
+  kPing = 2,   ///< body: empty — heartbeat/keepalive
+  kAck = 3,    ///< body: u64 — cumulative ack of delivered sequence numbers
+};
+
+/// Serialize one message into a ready-to-send protocol frame carrying the
+/// per-peer sequence number `seq` (the receiver delivers each sequence
+/// number at most once; 0 is fine for decoder-only uses).
+std::vector<std::uint8_t> frame(const Message& m, std::uint64_t seq = 0);
+
+/// Build the handshake control frame carrying `self`.
+std::vector<std::uint8_t> hello_frame(NodeId self);
+
+/// Build an empty heartbeat control frame.
+std::vector<std::uint8_t> ping_frame();
+
+/// Build a cumulative-ack control frame: every data frame with sequence
+/// number <= `seq` has been delivered.
+std::vector<std::uint8_t> ack_frame(std::uint64_t seq);
+
+/// One decoded frame: either a protocol Message or a control frame.
+struct DecodedFrame {
+  bool control{false};
+  Message msg{};                   ///< valid when !control
+  std::uint64_t seq{0};            ///< valid when !control
+  ControlOp op{ControlOp::kPing};  ///< valid when control
+  NodeId hello_node{};             ///< valid when control && op == kHello
+  std::uint64_t ack_seq{0};        ///< valid when control && op == kAck
+};
 
 /// Incremental frame decoder (one per connection).
 class FrameDecoder {
@@ -24,8 +74,14 @@ class FrameDecoder {
   /// Append raw bytes from the stream.
   void feed(const std::uint8_t* data, std::size_t size);
 
-  /// Extract the next complete message, if any. Throws DecodeError on a
-  /// malformed frame (oversized length or bad payload).
+  /// Extract the next complete frame, if any. Throws DecodeError on a
+  /// malformed frame (oversized length, unknown control op, bad payload) —
+  /// the stream is unrecoverable past that point and the connection must
+  /// be dropped.
+  bool next_frame(DecodedFrame& out);
+
+  /// Message-only convenience for streams that carry no control frames
+  /// (codec tests); throws DecodeError if a control frame arrives.
   bool next(Message& out);
 
   [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }

@@ -8,8 +8,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 #include <system_error>
 
@@ -19,8 +21,7 @@ namespace hlock::net {
 
 namespace {
 
-/// Hello frames carry this reserved lock id; they never reach the engine.
-constexpr std::uint32_t kHelloLockValue = 0xFFFFFFFE;
+constexpr auto kRelax = std::memory_order_relaxed;
 
 void set_nonblocking(int fd) {
   ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
@@ -31,14 +32,21 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// Constructor-time failures only (bad port, fd exhaustion at startup):
+/// these are configuration errors surfaced to the caller before the loop
+/// runs, not runtime faults.
 [[noreturn]] void sys_fail(const char* what) {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+void bump_max(std::atomic<std::uint64_t>& hw, std::uint64_t v) {
+  if (v > hw.load(kRelax)) hw.store(v, kRelax);
+}
+
 }  // namespace
 
-TcpNode::TcpNode(NodeId self, std::uint16_t port)
-    : self_(self), transport_(*this) {
+TcpNode::TcpNode(NodeId self, std::uint16_t port, TcpConfig cfg)
+    : self_(self), cfg_(cfg), transport_(*this) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
   const int one = 1;
@@ -56,6 +64,9 @@ TcpNode::TcpNode(NodeId self, std::uint16_t port)
   set_nonblocking(listen_fd_);
 
   loop_.watch(listen_fd_, POLLIN, [this](std::uint32_t) { on_listen_ready(); });
+  // The heartbeat timer is armed from inside the loop once it runs; the
+  // constructor may be on any thread.
+  loop_.post([this] { arm_heartbeat(); });
 }
 
 TcpNode::~TcpNode() {
@@ -66,10 +77,18 @@ TcpNode::~TcpNode() {
 void TcpNode::set_peers(std::map<NodeId, PeerAddress> peers) {
   loop_.post([this, peers = std::move(peers)]() mutable {
     peers_ = std::move(peers);
+    // Peers dropped from the book must not be re-dialed by a timer armed
+    // under the old book.
+    for (auto& [peer, d] : dial_) {
+      if (peers_.count(peer) == 0 && d.timer_pending) {
+        loop_.cancel_timer(d.timer_id);
+        d.timer_pending = false;
+      }
+    }
     // Deterministic mesh: the higher id dials the lower, so each pair has
     // exactly one connection and per-pair FIFO ordering holds.
     for (const auto& [peer, address] : peers_) {
-      if (peer < self_ && peer_fd_.find(peer) == peer_fd_.end()) dial(peer);
+      if (peer < self_) maybe_dial(peer);
     }
   });
 }
@@ -92,7 +111,11 @@ void TcpNode::on_listen_ready() {
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR) continue;
-      sys_fail("accept");
+      // Transient accept failure (EMFILE, ECONNABORTED, ...): keep the
+      // node alive, retry on the next readiness event.
+      HLOCK_LOG(kError, "node " << self_ << ": accept failed: "
+                                << std::strerror(errno));
+      return;
     }
     set_nonblocking(fd);
     set_nodelay(fd);
@@ -100,108 +123,246 @@ void TcpNode::on_listen_ready() {
     conn->fd = fd;
     Connection* raw = conn.get();
     conns_.emplace(fd, std::move(conn));
-    send_hello(*raw);
-    loop_.watch(fd, POLLIN,
-                [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
+    established(*raw, /*outbound=*/false);
   }
 }
 
-void TcpNode::dial(NodeId peer) {
+void TcpNode::maybe_dial(NodeId peer) {
+  if (!(peer < self_)) return;  // the higher id dials; we wait for them
+  if (peers_.find(peer) == peers_.end()) return;
+  auto& d = dial_[peer];
+  if (d.fd >= 0 || peer_fd_.count(peer) != 0) return;  // busy or connected
+  if (d.timer_pending) return;  // a backoff re-dial is already queued
+  start_dial(peer);
+}
+
+void TcpNode::start_dial(NodeId peer) {
   const auto it = peers_.find(peer);
-  if (it == peers_.end()) throw std::logic_error("dial: unknown peer");
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) sys_fail("socket");
+  if (it == peers_.end()) return;
+  auto& d = dial_[peer];
+  if (d.fd >= 0 || peer_fd_.count(peer) != 0) return;
+
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(it->second.port);
   if (::inet_pton(AF_INET, it->second.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw std::invalid_argument("bad peer host");
+    HLOCK_LOG(kError, "node " << self_ << ": bad host for peer " << peer
+                              << ": '" << it->second.host << "'");
+    ++d.failures;
+    stats_.connect_failures.fetch_add(1, kRelax);
+    schedule_redial(peer);  // the book may be corrected via set_peers
+    return;
   }
-  // Loopback connects complete immediately in practice; a blocking connect
-  // on the loop thread keeps the harness simple.
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    ::close(fd);
-    sys_fail("connect");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    ++d.failures;
+    stats_.connect_failures.fetch_add(1, kRelax);
+    schedule_redial(peer);
+    return;
   }
   set_nonblocking(fd);
   set_nodelay(fd);
+  stats_.dials.fetch_add(1, kRelax);
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    ++d.failures;
+    stats_.connect_failures.fetch_add(1, kRelax);
+    schedule_redial(peer);
+    return;
+  }
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
   conn->peer = peer;
+  conn->connecting = true;
+  conn->last_recv = conn->last_send = loop_.now();
   Connection* raw = conn.get();
   conns_.emplace(fd, std::move(conn));
-  peer_fd_[peer] = fd;
-  send_hello(*raw);
-  loop_.watch(fd, POLLIN,
-              [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
-  // Flush anything queued while unconnected.
-  const auto pending = pending_out_.find(peer);
-  if (pending != pending_out_.end()) {
-    for (const Message& m : pending->second) queue_frame(*raw, frame(m));
-    pending_out_.erase(pending);
-    flush(*raw);
+  d.fd = fd;
+  if (rc == 0) {
+    established(*raw, /*outbound=*/true);
+    return;
+  }
+  loop_.watch(fd, POLLOUT, [this, fd](std::uint32_t revents) {
+    on_connect_ready(fd, revents);
+  });
+}
+
+void TcpNode::on_connect_ready(int fd, std::uint32_t revents) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& c = *it->second;
+  if (!c.connecting) {  // raced with establishment; treat as normal I/O
+    on_conn_event(fd, revents);
+    return;
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) err = errno;
+  if (err != 0 || (revents & (POLLERR | POLLNVAL)) != 0) {
+    HLOCK_LOG(kDebug, "node " << self_ << ": connect to peer " << c.peer
+                              << " failed: " << std::strerror(err));
+    fail_dial(c.peer);
+    return;
+  }
+  established(c, /*outbound=*/true);
+}
+
+void TcpNode::fail_dial(NodeId peer) {
+  auto& d = dial_[peer];
+  if (d.fd >= 0) {
+    loop_.unwatch(d.fd);
+    ::close(d.fd);
+    conns_.erase(d.fd);
+    d.fd = -1;
+  }
+  ++d.failures;
+  stats_.connect_failures.fetch_add(1, kRelax);
+  schedule_redial(peer);
+}
+
+void TcpNode::schedule_redial(NodeId peer) {
+  auto& d = dial_[peer];
+  if (d.timer_pending || d.fd >= 0 || peer_fd_.count(peer) != 0) return;
+  // Capped exponential backoff: min * 2^(failures-1), clamped to max.
+  Duration delay = cfg_.reconnect_min > 0 ? cfg_.reconnect_min : msec(1);
+  const Duration cap =
+      cfg_.reconnect_max > delay ? cfg_.reconnect_max : delay;
+  for (std::uint32_t i = 1; i < d.failures && delay < cap; ++i) delay *= 2;
+  delay = std::min(delay, cap);
+  d.timer_pending = true;
+  d.timer_id = loop_.schedule_cancellable(delay, [this, peer] {
+    const auto it = dial_.find(peer);
+    if (it == dial_.end()) return;
+    it->second.timer_pending = false;
+    if (it->second.fd >= 0 || peer_fd_.count(peer) != 0) return;
+    start_dial(peer);
+  });
+}
+
+void TcpNode::established(Connection& c, bool outbound) {
+  const int fd = c.fd;
+  c.connecting = false;
+  c.last_recv = c.last_send = loop_.now();
+  loop_.watch(fd, POLLIN, [this, fd](std::uint32_t revents) {
+    on_conn_event(fd, revents);
+  });
+  if (outbound) {
+    stats_.connects.fetch_add(1, kRelax);
+    // Backoff state (failures) resets only on the peer's hello: a listener
+    // that accepts and then drops us pre-handshake (half-configured proxy,
+    // crashing peer) must keep escalating the redial delay.
+    dial_[c.peer].fd = -1;
+    register_peer(c.peer, fd);
+  } else {
+    stats_.accepts.fetch_add(1, kRelax);
+  }
+  queue_frame(c, hello_frame(self_), /*control=*/true);
+  if (outbound) {
+    resend_window(c);  // flushes when the peer's window was non-empty
+    if (conns_.find(fd) == conns_.end()) return;  // flush may have closed
+  }
+  flush(c);
+}
+
+void TcpNode::register_peer(NodeId peer, int fd) {
+  const auto it = peer_fd_.find(peer);
+  if (it == peer_fd_.end()) {
+    peer_fd_.emplace(peer, fd);
+    connected_peers_.fetch_add(1, kRelax);
+  } else {
+    // Replacement connection (e.g. the old link is half-open and not yet
+    // reaped); the latest one wins, the stale fd is closed by idle/error
+    // handling and its guard (`pit->second == fd`) leaves this mapping be.
+    it->second = fd;
   }
 }
 
-void TcpNode::send_hello(Connection& c) {
-  Message hello;
-  hello.kind = MsgKind::kRequest;
-  hello.lock = LockId{kHelloLockValue};
-  hello.from = self_;
-  hello.req.requester = self_;
-  queue_frame(c, frame(hello));
-  c.hello_sent = true;
+void TcpNode::resend_window(Connection& c) {
+  const auto it = send_.find(c.peer);
+  if (it == send_.end() || it->second.window.empty()) return;
+  for (Unacked& u : it->second.window) {
+    if (u.sent_once) stats_.requeued_frames.fetch_add(1, kRelax);
+    u.sent_once = true;
+    queue_frame(c, u.bytes);
+  }
   flush(c);
 }
 
 void TcpNode::send(NodeId to, Message m) {
   m.from = self_;
   loop_.post([this, to, msg = std::move(m)] {
-    Connection* c = conn_for_peer(to);
-    if (c == nullptr) {
-      if (to < self_ && peers_.count(to) != 0) {
-        dial(to);
-        c = conn_for_peer(to);
-      } else {
-        // The lower id waits for the peer's dial; queue until the hello.
-        pending_out_[to].push_back(msg);
-        return;
-      }
+    // Every accepted send joins the peer's window first; it leaves only on
+    // a cumulative ack. Delivery across connection churn (including RST,
+    // which destroys kernel-buffered data on both ends) then follows from
+    // retransmit-on-reconnect plus receive-side dedup.
+    auto& ss = send_[to];
+    Unacked u;
+    u.seq = ss.next_seq++;
+    u.bytes = frame(msg, u.seq);
+    ss.window.push_back(std::move(u));
+    ++unacked_frames_;
+    bump_max(stats_.pending_high_water, unacked_frames_);
+    Connection* c = established_conn(to);
+    if (c != nullptr) {
+      ss.window.back().sent_once = true;
+      queue_frame(*c, ss.window.back().bytes);
+      flush(*c);
+      return;
     }
-    queue_frame(*c, frame(msg));
-    flush(*c);
+    maybe_dial(to);  // no-op unless this side owns the dial
   });
 }
 
-TcpNode::Connection* TcpNode::conn_for_peer(NodeId peer) {
+TcpNode::Connection* TcpNode::established_conn(NodeId peer) {
   const auto it = peer_fd_.find(peer);
   if (it == peer_fd_.end()) return nullptr;
   const auto cit = conns_.find(it->second);
-  return cit == conns_.end() ? nullptr : cit->second.get();
+  if (cit == conns_.end() || cit->second->connecting) return nullptr;
+  return cit->second.get();
 }
 
-void TcpNode::queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes) {
-  // Reclaim the consumed prefix before it dominates the buffer, so the
-  // outbox stays a flat append-only vector between flushes.
-  if (c.outbox_pos == c.outbox.size()) {
+void TcpNode::queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes,
+                          bool control) {
+  if (c.outbox_pos == c.outbox.size() && c.frames.empty()) {
     c.outbox.clear();
     c.outbox_pos = 0;
-  } else if (c.outbox_pos > 65536 && c.outbox_pos * 2 > c.outbox.size()) {
-    c.outbox.erase(c.outbox.begin(),
-                   c.outbox.begin() + static_cast<std::ptrdiff_t>(c.outbox_pos));
-    c.outbox_pos = 0;
+  } else if (c.outbox_pos > 65536) {
+    // Reclaim the consumed prefix once it dominates the buffer — but never
+    // past the start of a partially-written frame, whose offset must stay
+    // a valid index for flush()'s completion accounting.
+    std::size_t reclaim = c.outbox_pos;
+    if (!c.frames.empty()) reclaim = std::min(reclaim, c.frames.front().off);
+    if (reclaim > 0 && reclaim * 2 > c.outbox.size()) {
+      c.outbox.erase(c.outbox.begin(),
+                     c.outbox.begin() + static_cast<std::ptrdiff_t>(reclaim));
+      c.outbox_pos -= reclaim;
+      for (OutFrame& f : c.frames) f.off -= reclaim;
+    }
   }
+  c.frames.push_back(OutFrame{c.outbox.size(),
+                              static_cast<std::uint32_t>(bytes.size()),
+                              control});
   c.outbox.insert(c.outbox.end(), bytes.begin(), bytes.end());
+  bump_max(stats_.outbox_high_water, c.outbox.size() - c.outbox_pos);
 }
 
 void TcpNode::flush(Connection& c) {
+  if (c.connecting) return;
   while (c.outbox_pos < c.outbox.size()) {
     // One contiguous write of everything pending.
     const ssize_t n = ::send(c.fd, c.outbox.data() + c.outbox_pos,
                              c.outbox.size() - c.outbox_pos, MSG_NOSIGNAL);
     if (n > 0) {
       c.outbox_pos += static_cast<std::size_t>(n);
+      c.last_send = loop_.now();
+      stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n), kRelax);
+      while (!c.frames.empty() &&
+             c.frames.front().off + c.frames.front().len <= c.outbox_pos) {
+        stats_.frames_out.fetch_add(1, kRelax);
+        c.frames.pop_front();
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -219,6 +380,7 @@ void TcpNode::flush(Connection& c) {
   // Outbox drained: release the buffer cursor and stop watching POLLOUT.
   c.outbox.clear();
   c.outbox_pos = 0;
+  c.frames.clear();
   const int fd = c.fd;
   loop_.watch(fd, POLLIN,
               [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
@@ -228,56 +390,259 @@ void TcpNode::on_conn_event(int fd, std::uint32_t revents) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
   Connection& c = *it->second;
-
-  if (revents & (POLLERR | POLLHUP)) {
-    // Drain whatever is readable, then close.
-    revents |= POLLIN;
+  if (c.connecting) {
+    on_connect_ready(fd, revents);
+    return;
   }
-  if (revents & POLLIN) {
+
+  const bool hangup = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  bool dead = false;
+  if ((revents & POLLIN) != 0 || hangup) {
     std::uint8_t buf[65536];
     for (;;) {
       const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
       if (n > 0) {
+        stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n), kRelax);
+        c.last_recv = loop_.now();
         c.decoder.feed(buf, static_cast<std::size_t>(n));
         continue;
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       if (n < 0 && errno == EINTR) continue;
+      dead = true;  // orderly FIN (n == 0) or hard error; decode first
+      break;
+    }
+    try {
+      DecodedFrame f;
+      while (c.decoder.next_frame(f)) {
+        handle_frame(c, f);
+        // The handler (or a hello-triggered flush) may have closed this
+        // very connection; never touch `c` again once it is gone.
+        if (conns_.find(fd) == conns_.end()) return;
+      }
+    } catch (const DecodeError& e) {
+      // Malformed stream: contained to this connection. Drop the link and
+      // let the dial side reconnect; unacked frames will be resent.
+      stats_.decode_errors.fetch_add(1, kRelax);
+      HLOCK_LOG(kError, "node " << self_ << ": malformed frame on fd " << fd
+                                << " (" << e.what()
+                                << "); closing connection");
       close_conn(fd);
       return;
     }
-    Message m;
-    while (c.decoder.next(m)) handle_frame(c, m);
+    if (c.ack_due && !dead && !hangup) {
+      // One cumulative ack per read burst, not per frame.
+      c.ack_due = false;
+      queue_frame(c, ack_frame(recv_seq_[c.peer]), /*control=*/true);
+      flush(c);
+      if (conns_.find(fd) == conns_.end()) return;
+    }
+  }
+  if (dead || hangup) {
+    // Even when recv() reported EAGAIN (e.g. POLLHUP with a drained read
+    // buffer), a hangup means this connection is finished — without this
+    // close the watch would linger and never fire progress again.
+    close_conn(fd);
+    return;
   }
   if (revents & POLLOUT) flush(c);
 }
 
-void TcpNode::handle_frame(Connection& c, const Message& m) {
-  if (m.lock.value == kHelloLockValue) {
-    c.peer = m.req.requester;
-    peer_fd_[c.peer] = c.fd;
-    const auto pending = pending_out_.find(c.peer);
-    if (pending != pending_out_.end()) {
-      for (const Message& out : pending->second) queue_frame(c, frame(out));
-      pending_out_.erase(pending);
-      flush(c);
+void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
+  stats_.frames_in.fetch_add(1, kRelax);
+  if (f.control) {
+    switch (f.op) {
+      case ControlOp::kHello: {
+        if (c.peer.valid() && c.peer != f.hello_node) {
+          HLOCK_LOG(kError, "node " << self_ << ": peer " << c.peer
+                                    << " introduced itself as "
+                                    << f.hello_node << "; dropping link");
+          close_conn(c.fd);
+          return;
+        }
+        const bool inbound_first = !c.peer.valid();
+        if (inbound_first) c.peer = f.hello_node;
+        if (!c.greeted) {
+          c.greeted = true;
+          // Only a completed handshake proves the link works end to end:
+          // reset the dial backoff and account the reconnect here, not at
+          // connect time (a proxy fronting a dead listener "connects").
+          const auto dit = dial_.find(c.peer);
+          if (dit != dial_.end()) dit->second.failures = 0;
+          auto& ever = ever_connected_[c.peer];
+          if (ever) stats_.reconnects.fetch_add(1, kRelax);
+          ever = true;
+        }
+        if (inbound_first) {  // inbound link: now we know who dialed us
+          register_peer(c.peer, c.fd);
+          resend_window(c);
+        }
+        return;
+      }
+      case ControlOp::kPing:
+        return;  // liveness only; last_recv was refreshed by the read loop
+      case ControlOp::kAck: {
+        if (!c.peer.valid()) return;
+        auto& ss = send_[c.peer];
+        while (!ss.window.empty() && ss.window.front().seq <= f.ack_seq) {
+          ss.window.pop_front();
+          --unacked_frames_;
+        }
+        return;
+      }
     }
     return;
   }
-  ++delivered_;
-  if (handler_) handler_(m);
+  if (!c.peer.valid()) {
+    // Data before hello: this stream cannot be deduplicated. Protocol
+    // violation; drop the link (the real peer, if any, will retransmit).
+    HLOCK_LOG(kError, "node " << self_ << ": data frame before hello on fd "
+                              << c.fd << "; dropping link");
+    close_conn(c.fd);
+    return;
+  }
+  auto& delivered_seq = recv_seq_[c.peer];
+  if (f.seq <= delivered_seq) {
+    // Retransmission of something already delivered — the peer resends its
+    // whole window on reconnect, so this happens whenever the previous
+    // connection died after delivery but before our ack arrived. Re-ack
+    // (don't re-deliver) or the sender's window would never drain.
+    c.ack_due = true;
+    return;
+  }
+  if (f.seq != delivered_seq + 1) {
+    // Gaps cannot happen with in-order windows over in-order streams;
+    // favour liveness over strictness if a peer misbehaves.
+    HLOCK_LOG(kError, "node " << self_ << ": sequence gap from peer "
+                              << c.peer << " (" << delivered_seq << " -> "
+                              << f.seq << ")");
+  }
+  delivered_seq = f.seq;
+  c.ack_due = true;
+  delivered_.fetch_add(1, kRelax);
+  if (handler_) handler_(f.msg);
 }
 
 void TcpNode::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
-  if (it->second->peer.valid()) {
-    const auto pit = peer_fd_.find(it->second->peer);
-    if (pit != peer_fd_.end() && pit->second == fd) peer_fd_.erase(pit);
+  Connection& c = *it->second;
+  const NodeId peer = c.peer;
+
+  // No salvage needed: everything unacked for this peer is still in its
+  // send window and will be retransmitted wholesale on the next
+  // established connection (the receiver dedups by sequence number).
+  if (peer.valid()) {
+    if (!c.greeted && peer < self_) {
+      // The link died before the handshake completed: escalate the
+      // backoff, else an accept-then-drop listener induces a redial storm.
+      ++dial_[peer].failures;
+    }
+    const auto pit = peer_fd_.find(peer);
+    if (pit != peer_fd_.end() && pit->second == fd) {
+      peer_fd_.erase(pit);
+      connected_peers_.fetch_sub(1, kRelax);
+    }
+    const auto dit = dial_.find(peer);
+    if (dit != dial_.end() && dit->second.fd == fd) dit->second.fd = -1;
   }
   loop_.unwatch(fd);
   ::close(fd);
   conns_.erase(it);
+
+  if (peer.valid() && established_conn(peer) == nullptr && peer < self_ &&
+      peers_.count(peer) != 0) {
+    // This side owns the dial and no replacement link exists; reconnect so
+    // the window drains. (A replacement link, if any, already resent it.)
+    schedule_redial(peer);
+  }
+}
+
+void TcpNode::close_peer_connection(NodeId peer) {
+  loop_.post([this, peer] {
+    const auto it = peer_fd_.find(peer);
+    if (it != peer_fd_.end()) close_conn(it->second);
+  });
+}
+
+void TcpNode::arm_heartbeat() {
+  Duration tick = 0;
+  if (cfg_.heartbeat_interval > 0) {
+    tick = cfg_.heartbeat_interval;
+  } else if (cfg_.idle_timeout > 0) {
+    tick = std::max<Duration>(cfg_.idle_timeout / 4, msec(10));
+  }
+  if (tick <= 0) return;
+  loop_.schedule(tick, [this] {
+    on_heartbeat();
+    arm_heartbeat();
+  });
+}
+
+void TcpNode::on_heartbeat() {
+  const TimePoint t = loop_.now();
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, c] : conns_) fds.push_back(fd);
+  for (const int fd : fds) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // closed by an earlier iteration
+    Connection& c = *it->second;
+    if (cfg_.idle_timeout > 0 && t - c.last_recv >= cfg_.idle_timeout) {
+      // Half-open peer, a stuck connect, or an inbound link that never
+      // said hello: reap it. Dialed links go back through backoff.
+      stats_.idle_closes.fetch_add(1, kRelax);
+      HLOCK_LOG(kDebug, "node " << self_ << ": idle timeout on fd " << fd
+                                << " (peer " << c.peer << ")");
+      if (c.connecting) {
+        fail_dial(c.peer);
+      } else {
+        close_conn(fd);
+      }
+      continue;
+    }
+    if (!c.connecting && cfg_.heartbeat_interval > 0 &&
+        t - c.last_send >= cfg_.heartbeat_interval) {
+      stats_.heartbeats_sent.fetch_add(1, kRelax);
+      queue_frame(c, ping_frame(), /*control=*/true);
+      flush(c);  // may close the connection; `c` is not touched after
+    }
+  }
+}
+
+TcpStats TcpNode::stats() const {
+  TcpStats s;
+  s.dials = stats_.dials.load(kRelax);
+  s.connect_failures = stats_.connect_failures.load(kRelax);
+  s.connects = stats_.connects.load(kRelax);
+  s.accepts = stats_.accepts.load(kRelax);
+  s.reconnects = stats_.reconnects.load(kRelax);
+  s.frames_out = stats_.frames_out.load(kRelax);
+  s.frames_in = stats_.frames_in.load(kRelax);
+  s.bytes_out = stats_.bytes_out.load(kRelax);
+  s.bytes_in = stats_.bytes_in.load(kRelax);
+  s.decode_errors = stats_.decode_errors.load(kRelax);
+  s.requeued_frames = stats_.requeued_frames.load(kRelax);
+  s.heartbeats_sent = stats_.heartbeats_sent.load(kRelax);
+  s.idle_closes = stats_.idle_closes.load(kRelax);
+  s.outbox_high_water = stats_.outbox_high_water.load(kRelax);
+  s.pending_high_water = stats_.pending_high_water.load(kRelax);
+  return s;
+}
+
+std::string to_string(const TcpStats& s) {
+  std::ostringstream os;
+  os << "dials=" << s.dials << " connect_failures=" << s.connect_failures
+     << " connects=" << s.connects << " accepts=" << s.accepts
+     << " reconnects=" << s.reconnects << " frames_out=" << s.frames_out
+     << " frames_in=" << s.frames_in << " bytes_out=" << s.bytes_out
+     << " bytes_in=" << s.bytes_in << " decode_errors=" << s.decode_errors
+     << " requeued_frames=" << s.requeued_frames
+     << " heartbeats_sent=" << s.heartbeats_sent
+     << " idle_closes=" << s.idle_closes
+     << " outbox_hw=" << s.outbox_high_water
+     << " pending_hw=" << s.pending_high_water;
+  return os.str();
 }
 
 }  // namespace hlock::net

@@ -2,12 +2,33 @@
 //
 // Owns an EventLoop (run on a dedicated thread by the caller or
 // InProcessCluster), a listening socket, and one connection per peer.
-// Peers greet with a one-frame hello carrying their NodeId, so either side
-// may dial. The Transport facade is thread-safe: send() posts onto the
-// loop thread, which owns all sockets and the engine.
+// Peers greet with a one-frame control hello carrying their NodeId, so
+// either side may dial. The Transport facade is thread-safe: send() posts
+// onto the loop thread, which owns all sockets and the engine.
+//
+// Fault tolerance (all on the loop thread, no extra locking):
+//  - dial() is non-blocking; connect() completion/failure is observed via
+//    POLLOUT. Refused or dropped connections to a known peer are re-dialed
+//    with capped exponential backoff (TcpConfig::reconnect_min/max).
+//  - A malformed frame (DecodeError) closes only the offending connection;
+//    the process never terminates on peer garbage.
+//  - Every accepted send() gets a per-peer sequence number and stays in
+//    that peer's send window until cumulatively acked. When a connection
+//    dies — FIN, RST, refused dial, idle reap — the whole unacked window
+//    is retransmitted on the next established connection and the receiver
+//    drops frames it already delivered (seq <= its cumulative counter).
+//    This survives even an abortive RST close, which destroys both the
+//    sender's untransmitted sndbuf and the receiver's unread rcvbuf —
+//    cases where "written to the kernel" is not "delivered". No accepted
+//    send() is dropped or duplicated while both processes live.
+//  - A heartbeat timer pings idle connections and closes peers that have
+//    been silent past idle_timeout (half-open detection). The same
+//    deadline bounds a stuck non-blocking connect().
 #pragma once
 
 #include <cstdint>
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -26,10 +47,44 @@ struct PeerAddress {
   std::uint16_t port{0};
 };
 
+/// Transport tuning. Durations are virtual-time microseconds (msec()/sec()
+/// helpers); 0 disables the corresponding behaviour.
+struct TcpConfig {
+  /// First re-dial delay after a failed/refused/dropped connection; doubles
+  /// per consecutive failure up to reconnect_max.
+  Duration reconnect_min{msec(20)};
+  Duration reconnect_max{sec(2)};
+  /// Send a ping on connections with no outbound traffic for this long.
+  /// 0 disables heartbeats (idle peers will then see idle_timeout fire).
+  Duration heartbeat_interval{msec(500)};
+  /// Close a connection with no inbound traffic for this long (half-open
+  /// detection); also bounds a pending non-blocking connect. 0 disables.
+  Duration idle_timeout{sec(5)};
+};
+
+/// Monotonic transport counters (snapshot; see TcpNode::stats()).
+struct TcpStats {
+  std::uint64_t dials{0};             ///< connect() attempts started
+  std::uint64_t connect_failures{0};  ///< refused/failed/timed-out dials
+  std::uint64_t connects{0};          ///< established outbound connections
+  std::uint64_t accepts{0};           ///< established inbound connections
+  std::uint64_t reconnects{0};        ///< re-established links to a peer
+  std::uint64_t frames_out{0};        ///< frames fully written to the wire
+  std::uint64_t frames_in{0};         ///< frames decoded (incl. control)
+  std::uint64_t bytes_out{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t decode_errors{0};     ///< malformed frames (conn dropped)
+  std::uint64_t requeued_frames{0};   ///< unacked frames retransmitted
+  std::uint64_t heartbeats_sent{0};
+  std::uint64_t idle_closes{0};       ///< conns closed by idle_timeout
+  std::uint64_t outbox_high_water{0}; ///< max queued-unsent bytes, one conn
+  std::uint64_t pending_high_water{0};///< max unacked frames, all peers
+};
+
 class TcpNode {
  public:
   /// Listens on 127.0.0.1:`port` (0 = ephemeral; see listen_port()).
-  TcpNode(NodeId self, std::uint16_t port = 0);
+  explicit TcpNode(NodeId self, std::uint16_t port = 0, TcpConfig cfg = {});
   ~TcpNode();
   TcpNode(const TcpNode&) = delete;
   TcpNode& operator=(const TcpNode&) = delete;
@@ -37,6 +92,7 @@ class TcpNode {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
   [[nodiscard]] EventLoop& loop() { return loop_; }
+  [[nodiscard]] const TcpConfig& config() const { return cfg_; }
 
   /// Provide the address book. Only peers with id < self() are dialed
   /// (the higher id accepts), which yields exactly one connection per
@@ -57,47 +113,155 @@ class TcpNode {
   };
   [[nodiscard]] Transport& transport() { return transport_; }
 
-  /// Enqueue `m` for delivery to `to` (connects lazily if needed).
+  /// Enqueue `m` for delivery to `to`. Never fails: the frame joins the
+  /// peer's send window (retransmitted across connection churn until
+  /// acked) and a (re)dial is kicked off when this node is the dialing
+  /// side.
   void send(NodeId to, Message m);
 
   /// Messages delivered so far (loop thread increments; approximate from
   /// other threads).
-  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+  /// Peers with an established (hello-capable) connection right now.
+  [[nodiscard]] std::size_t connected_peers() const {
+    return connected_peers_.load(std::memory_order_relaxed);
+  }
+
+  /// Accepted sends not yet acked by their peer, across all windows (0
+  /// means every accepted send has provably been delivered).
+  [[nodiscard]] std::size_t unacked() const {
+    return unacked_frames_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the transport counters. Thread-safe; exact once the loop
+  /// has stopped, approximate while it runs.
+  [[nodiscard]] TcpStats stats() const;
+
+  /// Fault-injection/admin hook: asynchronously close the connection to
+  /// `peer` (if any). Unacked frames are retransmitted on the next
+  /// connection exactly as if the link had died.
+  void close_peer_connection(NodeId peer);
 
  private:
+  /// One frame sitting in a connection outbox. `off`/`len` index into
+  /// Connection::outbox (flush() pops entries as their last byte reaches
+  /// the kernel; control frames are excluded from frames_out accounting
+  /// choices only via this flag).
+  struct OutFrame {
+    std::size_t off{0};
+    std::uint32_t len{0};
+    bool control{false};
+  };
+
   struct Connection {
     int fd{-1};
     NodeId peer{};           ///< invalid until hello received (inbound)
+    bool connecting{false};  ///< non-blocking connect() still in flight
+    bool greeted{false};     ///< peer's hello received on this connection
+    bool ack_due{false};     ///< delivered new frames; cumulative ack owed
     FrameDecoder decoder;
     /// Pending output, contiguous so each readiness event needs exactly
     /// one write: bytes [outbox_pos, outbox.size()) are still unsent.
     std::vector<std::uint8_t> outbox;
     std::size_t outbox_pos{0};
-    bool hello_sent{false};
+    /// Frames not yet fully written, oldest first.
+    std::deque<OutFrame> frames;
+    TimePoint last_recv{0};  ///< loop().now() of last inbound byte
+    TimePoint last_send{0};  ///< loop().now() of last outbound byte
+  };
+
+  /// One accepted send() awaiting a cumulative ack from its peer.
+  struct Unacked {
+    std::uint64_t seq{0};
+    std::vector<std::uint8_t> bytes;  ///< full frame, ready to (re)send
+    bool sent_once{false};  ///< queued to at least one connection already
+  };
+
+  /// Per-peer reliable-delivery state on the send side.
+  struct SendState {
+    std::uint64_t next_seq{1};
+    std::deque<Unacked> window;  ///< oldest first; trimmed by acks
+  };
+
+  /// Re-dial bookkeeping for peers this node dials (peer < self_).
+  struct DialState {
+    std::uint32_t failures{0};   ///< consecutive failures (backoff exponent)
+    bool timer_pending{false};   ///< a backoff re-dial timer is queued
+    std::uint64_t timer_id{0};
+    int fd{-1};                  ///< in-flight connecting fd, -1 if none
   };
 
   void on_listen_ready();
   void on_conn_event(int fd, std::uint32_t revents);
+  void on_connect_ready(int fd, std::uint32_t revents);
   void flush(Connection& c);
   void close_conn(int fd);
-  Connection* conn_for_peer(NodeId peer);
-  void dial(NodeId peer);
-  void queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes);
-  void send_hello(Connection& c);
-  void handle_frame(Connection& c, const Message& m);
+  Connection* established_conn(NodeId peer);
+  void start_dial(NodeId peer);
+  void fail_dial(NodeId peer);
+  void schedule_redial(NodeId peer);
+  void maybe_dial(NodeId peer);
+  void established(Connection& c, bool outbound);
+  void register_peer(NodeId peer, int fd);
+  void resend_window(Connection& c);
+  void queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes,
+                   bool control = false);
+  void handle_frame(Connection& c, const DecodedFrame& f);
+  void arm_heartbeat();
+  void on_heartbeat();
 
   const NodeId self_;
+  const TcpConfig cfg_;
   EventLoop loop_;
   NodeTransport transport_;
   int listen_fd_{-1};
   std::uint16_t listen_port_{0};
   std::map<NodeId, PeerAddress> peers_;
   std::map<int, std::unique_ptr<Connection>> conns_;  ///< by fd
-  std::map<NodeId, int> peer_fd_;
-  /// Messages for peers whose connection is still being established.
-  std::map<NodeId, std::vector<Message>> pending_out_;
+  std::map<NodeId, int> peer_fd_;  ///< established connections only
+  std::map<NodeId, DialState> dial_;
+  /// Send windows, one per peer: every accepted send() lives here until
+  /// its peer acks it. Unbounded if a peer stays down — the same deal the
+  /// simulator's ReliableTransport offers.
+  std::map<NodeId, SendState> send_;
+  /// Highest sequence number delivered per peer (receive-side dedup;
+  /// survives connection churn by construction).
+  std::map<NodeId, std::uint64_t> recv_seq_;
+  /// Total frames across send_ windows (loop thread writes, any thread
+  /// reads via unacked()).
+  std::atomic<std::size_t> unacked_frames_{0};
+  /// Peers that have been connected at least once (distinguishes a
+  /// reconnect from a first connect in stats()).
+  std::map<NodeId, bool> ever_connected_;
   std::function<void(const Message&)> handler_;
-  std::uint64_t delivered_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::size_t> connected_peers_{0};
+
+  /// Loop thread writes (relaxed), any thread reads via stats().
+  struct StatCounters {
+    std::atomic<std::uint64_t> dials{0};
+    std::atomic<std::uint64_t> connect_failures{0};
+    std::atomic<std::uint64_t> connects{0};
+    std::atomic<std::uint64_t> accepts{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> requeued_frames{0};
+    std::atomic<std::uint64_t> heartbeats_sent{0};
+    std::atomic<std::uint64_t> idle_closes{0};
+    std::atomic<std::uint64_t> outbox_high_water{0};
+    std::atomic<std::uint64_t> pending_high_water{0};
+  } stats_;
 };
+
+/// One stats line, e.g. for process-exit reporting:
+/// `dials=3 connect_failures=1 ... pending_hw=2`.
+std::string to_string(const TcpStats& s);
 
 }  // namespace hlock::net

@@ -76,6 +76,114 @@ TEST(Framing, RejectsOversizedFrame) {
   EXPECT_THROW(dec.next(out), DecodeError);
 }
 
+TEST(Framing, RejectsOversizedMessageLengthPrefix) {
+  // 16 MB + 1, control bit clear: one past kMaxFrameBytes.
+  FrameDecoder dec;
+  const std::uint8_t bogus[4] = {0x01, 0x00, 0x00, 0x01};
+  dec.feed(bogus, 4);
+  DecodedFrame out;
+  EXPECT_THROW(dec.next_frame(out), DecodeError);
+}
+
+TEST(Framing, OneByteFeedsAcrossCompactionThreshold) {
+  // Enough frames that the decoder's internal compaction threshold is
+  // crossed several times while bytes arrive one at a time.
+  std::vector<std::uint8_t> stream;
+  constexpr std::uint32_t kFrames = 200;
+  for (std::uint32_t i = 0; i < kFrames; ++i) {
+    const auto f = frame(sample_message(i));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  ASSERT_GT(stream.size(), 8192u);
+  FrameDecoder dec;
+  std::uint32_t decoded = 0;
+  Message out;
+  for (const std::uint8_t byte : stream) {
+    dec.feed(&byte, 1);
+    while (dec.next(out)) {
+      EXPECT_EQ(out.lock.value, decoded);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, kFrames);
+}
+
+TEST(Framing, GarbageAfterValidFrameDecodesFirstThenThrows) {
+  const Message m = sample_message(11);
+  auto stream = frame(m);
+  stream.insert(stream.end(), 16, 0xFF);
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  Message out;
+  ASSERT_TRUE(dec.next(out));
+  EXPECT_EQ(out, m);
+  EXPECT_THROW(dec.next(out), DecodeError);
+}
+
+TEST(Framing, ControlFramesRoundTripAndStayOffTheMessagePath) {
+  FrameDecoder dec;
+  const auto hello = hello_frame(NodeId{12});
+  const auto ping = ping_frame();
+  dec.feed(hello.data(), hello.size());
+  dec.feed(ping.data(), ping.size());
+  DecodedFrame f;
+  ASSERT_TRUE(dec.next_frame(f));
+  EXPECT_TRUE(f.control);
+  EXPECT_EQ(f.op, ControlOp::kHello);
+  EXPECT_EQ(f.hello_node, NodeId{12});
+  ASSERT_TRUE(dec.next_frame(f));
+  EXPECT_TRUE(f.control);
+  EXPECT_EQ(f.op, ControlOp::kPing);
+  EXPECT_FALSE(dec.next_frame(f));
+
+  // The Message-only accessor must refuse to hand a control frame to the
+  // protocol layer.
+  FrameDecoder strict;
+  strict.feed(hello.data(), hello.size());
+  Message out;
+  EXPECT_THROW(strict.next(out), DecodeError);
+}
+
+TEST(Framing, RejectsUnknownControlOpAndBadControlLength) {
+  {
+    FrameDecoder dec;
+    // Control bit set, length 1, op 0x7E: unknown.
+    const std::uint8_t bogus[5] = {0x01, 0x00, 0x00, 0x80, 0x7E};
+    dec.feed(bogus, 5);
+    DecodedFrame f;
+    EXPECT_THROW(dec.next_frame(f), DecodeError);
+  }
+  {
+    FrameDecoder dec;
+    // Control bit set, length 0: malformed.
+    const std::uint8_t bogus[4] = {0x00, 0x00, 0x00, 0x80};
+    dec.feed(bogus, 4);
+    DecodedFrame f;
+    EXPECT_THROW(dec.next_frame(f), DecodeError);
+  }
+}
+
+TEST(Framing, MessageSurvivesInterleavedControlFrames) {
+  const Message m = sample_message(77);
+  std::vector<std::uint8_t> stream = hello_frame(NodeId{1});
+  const auto body = frame(m);
+  stream.insert(stream.end(), body.begin(), body.end());
+  const auto ping = ping_frame();
+  stream.insert(stream.end(), ping.begin(), ping.end());
+
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  DecodedFrame f;
+  ASSERT_TRUE(dec.next_frame(f));
+  EXPECT_TRUE(f.control);
+  ASSERT_TRUE(dec.next_frame(f));
+  EXPECT_FALSE(f.control);
+  EXPECT_EQ(f.msg, m);
+  ASSERT_TRUE(dec.next_frame(f));
+  EXPECT_TRUE(f.control);
+  EXPECT_EQ(f.op, ControlOp::kPing);
+}
+
 TEST(EventLoop, RunsPostedTasksAndTimersInOrder) {
   EventLoop loop;
   std::vector<int> order;
@@ -102,6 +210,21 @@ TEST(EventLoop, CrossThreadPostIsDelivered) {
   loop.post([&] { loop.stop(); });
   t.join();
   EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(EventLoop, CancellableTimersCanBeCancelledBeforeFiring) {
+  EventLoop loop;
+  std::vector<int> fired;
+  std::thread t([&] { loop.run(); });
+  loop.post([&] {
+    const auto doomed =
+        loop.schedule_cancellable(msec(5), [&] { fired.push_back(1); });
+    loop.schedule_cancellable(msec(10), [&] { fired.push_back(2); });
+    loop.cancel_timer(doomed);
+    loop.schedule(msec(30), [&] { loop.stop(); });
+  });
+  t.join();
+  EXPECT_EQ(fired, (std::vector<int>{2}));
 }
 
 TEST(TcpCluster, MeshDeliversMessagesBothDirections) {

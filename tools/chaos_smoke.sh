@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Live-cluster chaos smoke: a 4-process hlock_node mesh where every link
+# runs through a fault-injecting chaos_proxy (periodic RSTs mid-stream,
+# garbage bytes toward the listener) and one peer starts 2 seconds late.
+#
+# Asserts that every node's lock/unlock workload completes, every process
+# exits cleanly, and the transport actually reconnected (reconnects > 0 in
+# at least one [tcp-stats] exit line) — i.e. the fault tolerance was
+# exercised, not bypassed.
+#
+# Usage: tools/chaos_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD="${1:-build}"
+NODE_BIN="$BUILD/tools/hlock_node"
+PROXY_BIN="$BUILD/tools/chaos_proxy"
+for bin in "$NODE_BIN" "$PROXY_BIN"; do
+  if [ ! -x "$bin" ]; then
+    echo "chaos_smoke: missing binary $bin (build the 'hlock_node' and 'chaos_proxy' targets first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2> /dev/null
+  wait 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Distinct port block per run so parallel CI jobs don't collide.
+BASE=$((21000 + ($$ % 18000)))
+NODES=4
+declare -a NODE_PORT PROXY_PORT
+for i in $(seq 0 $((NODES - 1))); do
+  NODE_PORT[i]=$((BASE + i))
+  PROXY_PORT[i]=$((BASE + 100 + i))
+done
+
+# One proxy in front of every node. Every 3rd relayed connection is
+# RST-closed after 64 bytes (mid-frame reset); every 7th gets 64 garbage
+# bytes injected toward the listener (malformed frames). 7 is coprime
+# with 3 so both faults actually fire (faults are mutually exclusive per
+# connection, reset winning — a multiple-of-3 period would shadow all
+# garbage candidates).
+for i in $(seq 0 $((NODES - 1))); do
+  "$PROXY_BIN" --listen "${PROXY_PORT[i]}" \
+    --target "127.0.0.1:${NODE_PORT[i]}" \
+    --reset-every 3 --reset-after-bytes 64 \
+    --garbage-every 7 --garbage-bytes 64 \
+    > "$WORK/proxy$i.log" 2>&1 &
+done
+
+peer_flags() { # peer_flags <self-id>
+  local self="$1" flags="" j
+  for j in $(seq 0 $((NODES - 1))); do
+    [ "$j" = "$self" ] && continue
+    flags="$flags --peer $j=127.0.0.1:${PROXY_PORT[j]}"
+  done
+  echo "$flags"
+}
+
+# Node i acquires lock (i+1) mod 4 in W. Lock l is rooted at node l mod 4,
+# so every acquisition crosses the (chaos-proxied) network. Long tail
+# sleeps keep every node alive until all peers finished their ops.
+start_node() { # start_node <id> <pre-lock-sleep>
+  local id="$1" pre="$2"
+  local lock=$(((id + 1) % NODES))
+  # shellcheck disable=SC2046
+  {
+    sleep "$pre"
+    echo "lock $lock W"
+    sleep 3
+    echo "unlock 1"
+    echo "status"
+    sleep 6
+    echo "quit"
+  } | timeout 90 "$NODE_BIN" --id "$id" --port "${NODE_PORT[id]}" \
+    $(peer_flags "$id") --locks "$NODES" \
+    --reconnect-min-ms 20 --reconnect-max-ms 200 \
+    --heartbeat-ms 200 --idle-timeout-ms 2000 \
+    > "$WORK/node$id.log" 2>&1 &
+  eval "NODE_PID_$id=$!"
+}
+
+# Nodes 1..3 start now; node 0 starts 2 seconds late, so its peers' first
+# dials bounce off a dead listener and must retry.
+start_node 1 5
+start_node 2 5
+start_node 3 5
+sleep 2
+start_node 0 3
+
+fail=0
+for i in $(seq 0 $((NODES - 1))); do
+  eval "pid=\$NODE_PID_$i"
+  if ! wait "$pid"; then
+    echo "chaos_smoke: node $i exited non-zero (crashed or timed out)" >&2
+    fail=1
+  fi
+done
+
+for i in $(seq 0 $((NODES - 1))); do
+  lock=$(((i + 1) % NODES))
+  if ! grep -q "granted W on lock $lock" "$WORK/node$i.log"; then
+    echo "chaos_smoke: node $i never acquired lock $lock" >&2
+    fail=1
+  fi
+  if ! grep -q "released" "$WORK/node$i.log"; then
+    echo "chaos_smoke: node $i never released its lock" >&2
+    fail=1
+  fi
+done
+
+echo "--- [tcp-stats] exit lines ---"
+grep -h '\[tcp-stats\]' "$WORK"/node*.log || true
+if ! grep -h '\[tcp-stats\]' "$WORK"/node*.log \
+  | grep -Eq 'reconnects=[1-9]'; then
+  echo "chaos_smoke: no node ever reconnected — chaos was not exercised" >&2
+  fail=1
+fi
+
+# Stop the proxies gracefully so they print their fault summaries.
+# shellcheck disable=SC2046
+kill -TERM $(jobs -p) 2> /dev/null
+sleep 0.3
+echo "--- proxy fault summaries ---"
+grep -h '\[chaos\]' "$WORK"/proxy*.log || true
+
+if [ "$fail" -ne 0 ]; then
+  echo "=== chaos_smoke FAILED; node logs follow ===" >&2
+  for i in $(seq 0 $((NODES - 1))); do
+    echo "--- node $i ---" >&2
+    cat "$WORK/node$i.log" >&2
+  done
+  exit 1
+fi
+echo "chaos_smoke: PASS (4-node mesh survived late start, resets, garbage)"

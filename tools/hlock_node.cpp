@@ -68,6 +68,7 @@ struct Options {
   std::uint16_t port{0};
   std::map<NodeId, net::PeerAddress> peers;
   std::uint32_t locks{1};
+  net::TcpConfig tcp{};
 };
 
 Options parse_args(int argc, char** argv) {
@@ -84,6 +85,14 @@ Options parse_args(int argc, char** argv) {
       opt.port = parse_u16(arg, next());
     } else if (arg == "--locks") {
       opt.locks = parse_u32(arg, next());
+    } else if (arg == "--reconnect-min-ms") {
+      opt.tcp.reconnect_min = msec(parse_u32(arg, next()));
+    } else if (arg == "--reconnect-max-ms") {
+      opt.tcp.reconnect_max = msec(parse_u32(arg, next()));
+    } else if (arg == "--heartbeat-ms") {
+      opt.tcp.heartbeat_interval = msec(parse_u32(arg, next()));
+    } else if (arg == "--idle-timeout-ms") {
+      opt.tcp.idle_timeout = msec(parse_u32(arg, next()));
     } else if (arg == "--peer") {
       const std::string spec = next();  // id=host:port
       const auto eq = spec.find('=');
@@ -112,7 +121,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  net::TcpNode node(NodeId{opt.id}, opt.port);
+  net::TcpNode node(NodeId{opt.id}, opt.port, opt.tcp);
   std::cout << "node " << opt.id << " listening on 127.0.0.1:"
             << node.listen_port() << "\n";
   node.set_peers(opt.peers);
@@ -183,7 +192,9 @@ int main(int argc, char** argv) {
       } else if (cmd == "status") {
         std::cout << "node " << opt.id << ", " << handles.size()
                   << " live handles, " << node.delivered()
-                  << " messages delivered\n";
+                  << " messages delivered, " << node.connected_peers()
+                  << " peers connected\n"
+                  << "  " << to_string(node.stats()) << "\n";
         for (const auto& [h, handle] : handles) {
           std::cout << "  handle " << h << ": lock " << handle.lock << " in "
                     << to_string(handle.mode) << "\n";
@@ -199,5 +210,9 @@ int main(int argc, char** argv) {
 
   node.loop().stop();
   loop.join();
+  // Machine-greppable transport summary (docs/NETWORKING.md documents the
+  // format; the CI chaos smoke asserts on it).
+  std::cerr << "[tcp-stats] node=" << opt.id << " delivered="
+            << node.delivered() << " " << to_string(node.stats()) << "\n";
   return 0;
 }
