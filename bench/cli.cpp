@@ -86,6 +86,21 @@ CliOptions parse_cli(int argc, char** argv, const char* usage,
     } else if (arg == "--repeat") {
       opt.repeat = parse_int(arg, value(), usage);
       if (opt.repeat < 1) usage_error("--repeat must be >= 1", usage);
+    } else if (arg == "--shards") {
+      opt.shards = parse_size(arg, value(), usage);
+      if (opt.shards == 0) usage_error("--shards must be >= 1", usage);
+    } else if (arg == "--lock-count") {
+      opt.lock_count = parse_u32(arg, value(), usage);
+      if (opt.lock_count == 0)
+        usage_error("--lock-count must be >= 1", usage);
+    } else if (arg == "--zipf") {
+      const std::string text = value();
+      const auto z = try_parse_double(text);
+      if (!z || !(*z >= 0.0))
+        usage_error("--zipf expects a number >= 0, got '" + text + "'",
+                    usage);
+      opt.zipf = *z;
+      opt.zipf_set = true;
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--no-memo") {
@@ -119,6 +134,8 @@ CliOptions parse_cli(int argc, char** argv, const char* usage,
 void apply(const CliOptions& cli, workload::WorkloadSpec& spec) {
   if (cli.ops != 0) spec.ops_per_node = cli.ops;
   if (cli.seed_set) spec.seed = cli.seed;
+  if (cli.lock_count != 0) spec.lock_count = cli.lock_count;
+  if (cli.zipf_set) spec.zipf_theta = cli.zipf;
 }
 
 harness::SweepOptions sweep_options(const CliOptions& cli) {

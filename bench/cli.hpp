@@ -16,6 +16,9 @@
 //                  names the directory; empty value = `.hlock-cache`)
 //   --no-disk-cache  ignore --cache-dir / HLOCK_CACHE_DIR
 //   --json         machine-readable output where the binary supports it
+//   --shards N     simulation shards (bench/many_locks)
+//   --lock-count N total locks across the forest (bench/many_locks)
+//   --zipf T       Zipf skew of page selection, >= 0 (bench/many_locks)
 //
 // Numeric values are parsed strictly: `--nodes abc` or `--seed 12x` is a
 // usage error (exit 2), never a silently mis-parsed sweep.
@@ -46,6 +49,11 @@ struct CliOptions {
   bool memo = true;
   /// Cross-invocation result cache directory; empty = disabled.
   std::string cache_dir;
+  // Many-lock workload flags (bench/many_locks; ignored elsewhere).
+  std::size_t shards = 0;      ///< 0 = binary default
+  std::uint32_t lock_count = 0;  ///< 0 = binary default
+  double zipf = 0.0;
+  bool zipf_set = false;
 };
 
 /// Offered each flag the common parser does not recognize; return true

@@ -65,7 +65,9 @@ int main(int argc, char** argv) {
       defaults);
   if (cli.threads != 0) {
     std::cerr << "throughput measures wall clock; timed samples run "
-                 "serially (--threads not supported)\n";
+                 "serially (--threads not supported here — use --threads "
+                 "with the sweep binaries, or bench/many_locks --shards "
+                 "for shard-parallel simulation)\n";
     return 2;
   }
 

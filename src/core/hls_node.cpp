@@ -32,8 +32,9 @@ HlsEngine& HlsNode::engine(LockId lock) {
   if (lock.value < dense_.size() && dense_[lock.value] != nullptr)
     return *dense_[lock.value];
   const auto it = engines_.find(lock);
-  if (it == engines_.end()) throw std::logic_error("unknown lock");
-  return *it->second;
+  if (it != engines_.end()) return *it->second;
+  if (lazy_holder_) return add_lock(lock, lazy_holder_(lock));
+  throw std::logic_error("unknown lock");
 }
 
 const HlsEngine* HlsNode::find(LockId lock) const {

@@ -27,9 +27,27 @@ class HlsNode {
   HlsEngine& add_lock(LockId lock, NodeId initial_holder,
                       NodeId initial_parent = NodeId::invalid());
 
-  /// Engine for a lock added earlier; throws if unknown.
+  /// Engine for a lock added earlier; throws if unknown — unless a lazy
+  /// holder is installed, in which case the engine materializes on first
+  /// touch (see set_lazy_holder).
   [[nodiscard]] HlsEngine& engine(LockId lock);
   [[nodiscard]] const HlsEngine* find(LockId lock) const;
+
+  /// Many-lock mode: instead of add_lock()-ing every id up front (which
+  /// costs a full engine per idle lock), install a function mapping a lock
+  /// id to its initial token holder. engine() then materializes unknown
+  /// locks on demand; an untouched lock costs one dense pointer slot.
+  /// The mapping must be identical on every node of the cluster.
+  void set_lazy_holder(std::function<NodeId(LockId)> holder_of) {
+    lazy_holder_ = std::move(holder_of);
+  }
+
+  /// Pre-size the dense dispatch table (avoids growth reallocations when
+  /// the id universe is known, e.g. the forest workload's per-tree space).
+  void reserve_dense(std::uint32_t ids) {
+    if (ids > kDenseLockLimit) ids = kDenseLockLimit;
+    if (ids > dense_.size()) dense_.resize(ids, nullptr);
+  }
 
   /// Route one incoming message to its lock's engine.
   void handle(const Message& m);
@@ -46,6 +64,7 @@ class HlsNode {
   EngineOptions opts_;
   AcquiredFn on_acquired_;
   UpgradedFn on_upgraded_;
+  std::function<NodeId(LockId)> lazy_holder_;
   FlatMap<LockId, std::unique_ptr<HlsEngine>> engines_;
   /// O(1) lookup cache for small lock ids (the common, dense case): the
   /// engine() lookup is on the per-message hot path. Ids past the cap

@@ -1,0 +1,174 @@
+#include "harness/many_locks_cluster.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "sim/latency.hpp"
+
+namespace hlock::harness {
+
+namespace {
+
+/// SplitMix64-style stream derivation: deterministic, shard-invariant
+/// per-(tree) and per-(tree, node) seeds. Rng::split() would serialize
+/// the derivation order, which must not depend on construction order.
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+workload::ForestLayout make_layout(const ManyLocksConfig& c) {
+  if (c.trees == 0) throw std::invalid_argument("need >= 1 tree");
+  if (c.spec.lock_count / c.trees < 8)
+    throw std::invalid_argument("need >= 8 locks per tree (lock_count)");
+  return workload::ForestLayout(c.spec.lock_count / c.trees, c.levels);
+}
+
+}  // namespace
+
+struct ManyLocksCluster::TreeState {
+  TreeState(sim::Simulator& simulator, std::uint32_t tree_index)
+      : index(tree_index), sim(&simulator), exec(simulator) {}
+
+  std::uint32_t index;
+  sim::Simulator* sim;
+  std::unique_ptr<sim::SimNetwork> net;
+  SimExecutor exec;
+  std::vector<std::unique_ptr<sim::SimTransport>> transports;
+  std::vector<std::unique_ptr<core::HlsNode>> nodes;
+  std::vector<std::unique_ptr<lockmgr::PlanSession>> sessions;
+  std::vector<workload::ForestOpGen> gens;
+  std::vector<std::uint32_t> remaining;
+
+  // Per-tree metrics, merged in tree-index order by result().
+  std::uint64_t completed{0};
+  std::uint64_t lock_requests{0};
+  Summary latency;
+  TimePoint last_done{0};
+};
+
+ManyLocksCluster::ManyLocksCluster(const ManyLocksConfig& config)
+    : config_(config),
+      layout_(make_layout(config)),
+      zipf_(layout_.pages(), config.spec.zipf_theta),
+      sharded_(config.shards) {
+  if (config.nodes == 0) throw std::invalid_argument("need >= 1 node");
+  config.spec.validate();
+
+  const std::uint64_t seed = config.spec.seed;
+  const auto nodes = static_cast<std::uint32_t>(config.nodes);
+  trees_.reserve(config.trees);
+  for (std::uint32_t t = 0; t < config.trees; ++t) {
+    const std::size_t shard =
+        workload::ForestLayout::shard_of(t, config.shards);
+    auto tree = std::make_unique<TreeState>(sharded_.shard(shard), t);
+    tree->net = std::make_unique<sim::SimNetwork>(
+        *tree->sim,
+        std::make_unique<sim::UniformLatency>(config.spec.net_latency_mean),
+        Rng(mix(seed ^ 0x6e65745f726e67ULL, t)));
+    tree->transports.reserve(config.nodes);
+    tree->nodes.reserve(config.nodes);
+    tree->gens.reserve(config.nodes);
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      const NodeId id{i};
+      tree->transports.push_back(
+          std::make_unique<sim::SimTransport>(*tree->net, id));
+      auto node = std::make_unique<core::HlsNode>(
+          id, *tree->transports.back(), config.engine_opts);
+      // Engines materialize on first touch; an idle lock costs only its
+      // dense dispatch slot. The holder mapping is pure id arithmetic,
+      // identical on every node of the tree.
+      node->set_lazy_holder(
+          [nodes](LockId l) { return workload::ForestLayout::home_of(l, nodes); });
+      node->reserve_dense(layout_.locks_per_tree());
+      tree->net->register_node(
+          id, [n = node.get()](const Message& m) { n->handle(m); });
+      tree->nodes.push_back(std::move(node));
+      tree->gens.emplace_back(config.spec, zipf_, Rng(mix(mix(seed, t), i)));
+    }
+    for (std::uint32_t i = 0; i < nodes; ++i) {
+      tree->sessions.push_back(std::make_unique<lockmgr::PlanSession>(
+          *tree->nodes[i], tree->exec));
+    }
+    tree->remaining.assign(config.nodes, config.spec.ops_per_node);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+ManyLocksCluster::~ManyLocksCluster() = default;
+
+void ManyLocksCluster::kick(TreeState& tree, std::size_t node) {
+  if (tree.remaining[node] == 0) return;
+  tree.sim->schedule_after(tree.gens[node].next_idle(),
+                           [this, &tree, node] { run_one_op(tree, node); });
+}
+
+void ManyLocksCluster::run_one_op(TreeState& tree, std::size_t node) {
+  const workload::ForestOp op = tree.gens[node].next();
+  std::vector<lockmgr::PlanStep> plan;
+  workload::ForestOpGen::plan_for(layout_, op, plan);
+  tree.sessions[node]->run(
+      std::move(plan), op.cs,
+      [this, &tree, node](const lockmgr::PlanSession::Result& r) {
+        ++tree.completed;
+        --tree.remaining[node];
+        tree.lock_requests += r.lock_requests;
+        tree.latency.add(
+            static_cast<double>(r.acquire_latency) /
+            static_cast<double>(config_.spec.net_latency_mean));
+        if (tree.sim->now() > tree.last_done) tree.last_done = tree.sim->now();
+        kick(tree, node);
+      });
+}
+
+void ManyLocksCluster::run() {
+  for (auto& tree : trees_) {
+    for (std::size_t i = 0; i < config_.nodes; ++i) kick(*tree, i);
+  }
+  // Conservative lookahead: the minimum point-to-point latency. Uniform
+  // latency samples [mean/2, 3*mean/2], so mean/2 is a safe window.
+  const Duration lookahead = config_.spec.net_latency_mean / 2;
+  const std::size_t threads =
+      config_.run_threads == 0 ? config_.shards : config_.run_threads;
+  sharded_.run_all(lookahead, threads);
+
+  std::uint64_t completed = 0;
+  for (const auto& tree : trees_) completed += tree->completed;
+  const std::uint64_t expected = static_cast<std::uint64_t>(config_.trees) *
+                                 config_.nodes * config_.spec.ops_per_node;
+  if (completed != expected) {
+    throw std::runtime_error(
+        "forest drained with incomplete ops (deadlock or lost request): " +
+        std::to_string(completed) + "/" + std::to_string(expected));
+  }
+}
+
+ManyLocksResult ManyLocksCluster::result() const {
+  ManyLocksResult r;
+  r.locks_total =
+      static_cast<std::uint64_t>(layout_.locks_per_tree()) * config_.trees;
+  // Merge strictly in tree-index order: Summary sums are floating-point
+  // and order-dependent, and the tree partition (unlike the shard
+  // partition) is invariant to --shards, so this order makes the merged
+  // result bitwise-identical at any shard or thread count.
+  for (const auto& tree : trees_) {
+    r.ops += tree->completed;
+    r.lock_requests += tree->lock_requests;
+    r.messages += tree->net->messages_sent();
+    r.wire_bytes += tree->net->bytes_sent();
+    r.messages_by_kind.merge(tree->net->message_counts());
+    for (const double v : tree->latency.samples()) r.latency_factor.add(v);
+    for (const auto& node : tree->nodes)
+      r.engines_materialized += node->lock_count();
+    if (tree->last_done > r.virtual_end) r.virtual_end = tree->last_done;
+  }
+  r.events = sharded_.events_processed();
+  r.latency_factor.seal();
+  return r;
+}
+
+}  // namespace hlock::harness

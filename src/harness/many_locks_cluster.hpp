@@ -1,0 +1,104 @@
+// Many-lock forest harness: a forest of `trees` independent lock
+// hierarchies (workload::ForestLayout), each with its own SimNetwork and
+// HLS protocol nodes, distributed over a sim::ShardedSimulator.
+//
+// The tree is the unit of shard assignment (tree % shards). Trees never
+// exchange events, so per-tree behavior — and therefore every metric this
+// harness reports — is invariant to the shard count AND the thread count:
+// result() merges per-tree metrics in tree-index order, never per-shard.
+// CI runs the same workload at --shards 1/2/8 and byte-compares the
+// output; that only works because nothing shard-dependent (round counts,
+// per-shard clocks) leaks into ManyLocksResult.
+//
+// Memory: nodes install a lazy engine factory instead of add_lock()-ing
+// the whole id space, so an idle lock costs one dense dispatch slot per
+// node (8 bytes) until first touch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "core/hls_node.hpp"
+#include "harness/metrics.hpp"
+#include "harness/sim_executor.hpp"
+#include "lockmgr/plan_session.hpp"
+#include "sim/sharded.hpp"
+#include "sim/simnet.hpp"
+#include "workload/forest.hpp"
+#include "workload/spec.hpp"
+#include "workload/zipf.hpp"
+
+namespace hlock::harness {
+
+struct ManyLocksConfig {
+  std::size_t nodes{4};      ///< protocol participants per tree
+  std::uint32_t trees{16};   ///< independent hierarchies in the forest
+  std::uint32_t levels{4};   ///< 3 = top/collection/page, 4 adds a db level
+  std::size_t shards{1};     ///< event slabs; trees assigned tree % shards
+  /// Worker threads for the sharded run; 0 = one per shard. <= 1 runs the
+  /// serial oracle path.
+  std::size_t run_threads{0};
+  /// spec.lock_count = total locks across the forest (split evenly per
+  /// tree, remainder dropped); spec.zipf_theta = page-selection skew;
+  /// spec.ops_per_node counts per (tree, node).
+  workload::WorkloadSpec spec{};
+  core::EngineOptions engine_opts{};
+};
+
+/// Shard-count- and thread-count-invariant run results (see file header).
+struct ManyLocksResult {
+  std::uint64_t ops{0};
+  std::uint64_t lock_requests{0};
+  std::uint64_t messages{0};
+  std::uint64_t wire_bytes{0};
+  std::uint64_t events{0};
+  std::uint64_t locks_total{0};           ///< trees * locks_per_tree
+  std::uint64_t engines_materialized{0};  ///< engines actually built
+  CounterMap messages_by_kind;
+  Summary latency_factor;  ///< acquire latency / mean net latency
+  TimePoint virtual_end{0};  ///< max over trees of last op completion
+
+  [[nodiscard]] double msgs_per_lock_request() const {
+    return lock_requests == 0 ? 0.0
+                              : static_cast<double>(messages) /
+                                    static_cast<double>(lock_requests);
+  }
+
+  /// Exact equality down to Summary internals — the determinism tests
+  /// compare whole results across shard/thread counts through this.
+  bool operator==(const ManyLocksResult&) const = default;
+};
+
+class ManyLocksCluster {
+ public:
+  explicit ManyLocksCluster(const ManyLocksConfig& config);
+  ~ManyLocksCluster();
+
+  /// Drive every (tree, node) op stream to completion; throws if the
+  /// forest drains with ops outstanding (deadlock or lost request).
+  void run();
+
+  [[nodiscard]] ManyLocksResult result() const;
+  [[nodiscard]] const workload::ForestLayout& layout() const {
+    return layout_;
+  }
+  [[nodiscard]] sim::ShardedSimulator& sharded() { return sharded_; }
+  [[nodiscard]] std::uint64_t rounds() const { return sharded_.rounds(); }
+
+ private:
+  struct TreeState;
+
+  void kick(TreeState& tree, std::size_t node);
+  void run_one_op(TreeState& tree, std::size_t node);
+
+  ManyLocksConfig config_;
+  workload::ForestLayout layout_;
+  workload::ZipfTable zipf_;
+  sim::ShardedSimulator sharded_;
+  std::vector<std::unique_ptr<TreeState>> trees_;
+};
+
+}  // namespace hlock::harness

@@ -83,9 +83,9 @@ std::optional<Summary> summary_from_json(const JsonValue& v) {
 // ABI this project targets).
 static_assert(sizeof(core::EngineOptions) == 5,
               "EngineOptions changed — update canonical_point_key()");
-static_assert(sizeof(workload::WorkloadSpec) == 96,
+static_assert(sizeof(workload::WorkloadSpec) == 104,
               "WorkloadSpec changed — update canonical_point_key()");
-static_assert(sizeof(ClusterConfig) == 128,
+static_assert(sizeof(ClusterConfig) == 144,
               "ClusterConfig changed — update canonical_point_key()");
 
 std::string canonical_point_key(const SweepPoint& p) {
@@ -106,7 +106,9 @@ std::string canonical_point_key(const SweepPoint& p) {
      << "|home=" << json_double(s.home_bias) << "|ops=" << s.ops_per_node
      << "|seed=" << s.seed << "|cg=" << e.allow_child_grants
      << "|lq=" << e.allow_local_queues << "|fz=" << e.enable_freezing
-     << "|lr=" << e.lazy_release << "|pr=" << e.enable_priorities;
+     << "|lr=" << e.lazy_release << "|pr=" << e.enable_priorities
+     << "|shards=" << c.shards << "|lc=" << s.lock_count
+     << "|zipf=" << json_double(s.zipf_theta);
   return os.str();
 }
 

@@ -27,8 +27,9 @@ NaimiEngine& NaimiNode::engine(LockId lock) {
   if (lock.value < dense_.size() && dense_[lock.value] != nullptr)
     return *dense_[lock.value];
   const auto it = engines_.find(lock);
-  if (it == engines_.end()) throw std::logic_error("unknown lock");
-  return *it->second;
+  if (it != engines_.end()) return *it->second;
+  if (lazy_holder_) return add_lock(lock, lazy_holder_(lock));
+  throw std::logic_error("unknown lock");
 }
 
 void NaimiNode::handle(const Message& m) { engine(m.lock).handle(m); }

@@ -23,6 +23,17 @@ class NaimiNode {
   [[nodiscard]] NaimiEngine& engine(LockId lock);
   void handle(const Message& m);
 
+  /// Many-lock mode (mirrors HlsNode): materialize engines on first touch
+  /// from a deterministic lock -> initial-holder mapping.
+  void set_lazy_holder(std::function<NodeId(LockId)> holder_of) {
+    lazy_holder_ = std::move(holder_of);
+  }
+  /// Pre-size the dense dispatch table.
+  void reserve_dense(std::uint32_t ids) {
+    if (ids > kDenseLockLimit) ids = kDenseLockLimit;
+    if (ids > dense_.size()) dense_.resize(ids, nullptr);
+  }
+
   void set_on_acquired(AcquiredFn fn) { on_acquired_ = std::move(fn); }
   [[nodiscard]] NodeId self() const { return self_; }
 
@@ -30,6 +41,7 @@ class NaimiNode {
   NodeId self_;
   Transport& transport_;
   AcquiredFn on_acquired_;
+  std::function<NodeId(LockId)> lazy_holder_;
   FlatMap<LockId, std::unique_ptr<NaimiEngine>> engines_;
   /// O(1) dispatch cache for small (dense) lock ids, mirroring HlsNode:
   /// the per-message engine lookup must not chase a tree or even binary

@@ -290,7 +290,20 @@ void TcpNode::resend_window(Connection& c) {
   flush(c);
 }
 
-void TcpNode::send(NodeId to, Message m) {
+bool TcpNode::send(NodeId to, Message m) {
+  if (cfg_.send_window_limit != 0) {
+    // Reserve a window slot before posting: the caller needs the
+    // would-block answer synchronously, so the count lives under a mutex
+    // shared with the loop thread's ack trim instead of in loop-confined
+    // state.
+    std::lock_guard<std::mutex> lk(window_mu_);
+    auto& pending = window_pending_[to];
+    if (pending >= cfg_.send_window_limit) {
+      stats_.sends_rejected.fetch_add(1, kRelax);
+      return false;
+    }
+    ++pending;
+  }
   m.from = self_;
   loop_.post([this, to, msg = std::move(m)] {
     // Every accepted send joins the peer's window first; it leaves only on
@@ -313,6 +326,7 @@ void TcpNode::send(NodeId to, Message m) {
     }
     maybe_dial(to);  // no-op unless this side owns the dial
   });
+  return true;
 }
 
 TcpNode::Connection* TcpNode::established_conn(NodeId peer) {
@@ -484,9 +498,16 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
       case ControlOp::kAck: {
         if (!c.peer.valid()) return;
         auto& ss = send_[c.peer];
+        std::size_t trimmed = 0;
         while (!ss.window.empty() && ss.window.front().seq <= f.ack_seq) {
           ss.window.pop_front();
           --unacked_frames_;
+          ++trimmed;
+        }
+        if (trimmed != 0 && cfg_.send_window_limit != 0) {
+          std::lock_guard<std::mutex> lk(window_mu_);
+          auto& pending = window_pending_[c.peer];
+          pending -= std::min(pending, trimmed);
         }
         return;
       }
@@ -625,6 +646,7 @@ TcpStats TcpNode::stats() const {
   s.requeued_frames = stats_.requeued_frames.load(kRelax);
   s.heartbeats_sent = stats_.heartbeats_sent.load(kRelax);
   s.idle_closes = stats_.idle_closes.load(kRelax);
+  s.sends_rejected = stats_.sends_rejected.load(kRelax);
   s.outbox_high_water = stats_.outbox_high_water.load(kRelax);
   s.pending_high_water = stats_.pending_high_water.load(kRelax);
   return s;
@@ -640,6 +662,7 @@ std::string to_string(const TcpStats& s) {
      << " requeued_frames=" << s.requeued_frames
      << " heartbeats_sent=" << s.heartbeats_sent
      << " idle_closes=" << s.idle_closes
+     << " sends_rejected=" << s.sends_rejected
      << " outbox_hw=" << s.outbox_high_water
      << " pending_hw=" << s.pending_high_water;
   return os.str();

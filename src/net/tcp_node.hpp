@@ -32,6 +32,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,13 @@ struct TcpConfig {
   /// Close a connection with no inbound traffic for this long (half-open
   /// detection); also bounds a pending non-blocking connect. 0 disables.
   Duration idle_timeout{sec(5)};
+  /// Per-peer cap on accepted-but-unacked sends. 0 = unbounded (the
+  /// historical behaviour: a dead peer grows its window without limit).
+  /// When the peer's window is full, send() returns false and does NOT
+  /// enqueue — backpressure for callers that can retry. The Transport
+  /// facade cannot retry (engines are callback-driven), so there a
+  /// rejected send is dropped and counted in stats().sends_rejected.
+  std::size_t send_window_limit{0};
 };
 
 /// Monotonic transport counters (snapshot; see TcpNode::stats()).
@@ -77,6 +85,7 @@ struct TcpStats {
   std::uint64_t requeued_frames{0};   ///< unacked frames retransmitted
   std::uint64_t heartbeats_sent{0};
   std::uint64_t idle_closes{0};       ///< conns closed by idle_timeout
+  std::uint64_t sends_rejected{0};    ///< send() refusals (window cap hit)
   std::uint64_t outbox_high_water{0}; ///< max queued-unsent bytes, one conn
   std::uint64_t pending_high_water{0};///< max unacked frames, all peers
 };
@@ -106,18 +115,27 @@ class TcpNode {
   class NodeTransport final : public Transport {
    public:
     explicit NodeTransport(TcpNode& node) : node_(node) {}
-    void send(NodeId to, Message m) override { node_.send(to, std::move(m)); }
+    void send(NodeId to, Message m) override {
+      // Engines cannot retry from a callback, so a window-cap rejection
+      // here is a drop (already counted in stats().sends_rejected). Run
+      // protocol traffic with send_window_limit = 0 unless the workload
+      // tolerates message loss.
+      (void)node_.send(to, std::move(m));
+    }
 
    private:
     TcpNode& node_;
   };
   [[nodiscard]] Transport& transport() { return transport_; }
 
-  /// Enqueue `m` for delivery to `to`. Never fails: the frame joins the
-  /// peer's send window (retransmitted across connection churn until
-  /// acked) and a (re)dial is kicked off when this node is the dialing
-  /// side.
-  void send(NodeId to, Message m);
+  /// Enqueue `m` for delivery to `to`. An accepted send (return true)
+  /// never fails afterwards: the frame joins the peer's send window
+  /// (retransmitted across connection churn until acked) and a (re)dial
+  /// is kicked off when this node is the dialing side. Returns false —
+  /// and enqueues nothing — only when TcpConfig::send_window_limit > 0
+  /// and that peer already has that many accepted-but-unacked sends
+  /// (would-block backpressure; retry after the window drains).
+  bool send(NodeId to, Message m);
 
   /// Messages delivered so far (loop thread increments; approximate from
   /// other threads).
@@ -233,6 +251,12 @@ class TcpNode {
   /// Total frames across send_ windows (loop thread writes, any thread
   /// reads via unacked()).
   std::atomic<std::size_t> unacked_frames_{0};
+  /// Would-block accounting for send_window_limit: accepted-but-unacked
+  /// sends per peer. Mutex-guarded (not loop-confined like send_) because
+  /// send() must check-and-reserve from the caller's thread while the ack
+  /// handler trims on the loop thread. Untouched when the limit is 0.
+  std::mutex window_mu_;
+  std::map<NodeId, std::size_t> window_pending_;
   /// Peers that have been connected at least once (distinguishes a
   /// reconnect from a first connect in stats()).
   std::map<NodeId, bool> ever_connected_;
@@ -255,6 +279,7 @@ class TcpNode {
     std::atomic<std::uint64_t> requeued_frames{0};
     std::atomic<std::uint64_t> heartbeats_sent{0};
     std::atomic<std::uint64_t> idle_closes{0};
+    std::atomic<std::uint64_t> sends_rejected{0};
     std::atomic<std::uint64_t> outbox_high_water{0};
     std::atomic<std::uint64_t> pending_high_water{0};
   } stats_;

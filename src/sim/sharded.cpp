@@ -1,0 +1,126 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hlock::sim {
+
+ShardedSimulator::ShardedSimulator(std::size_t shards) {
+  if (shards == 0) throw std::invalid_argument("need >= 1 shard");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Simulator>());
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_processed();
+  return total;
+}
+
+void ShardedSimulator::run_all(Duration lookahead, std::size_t threads,
+                               std::uint64_t max_events) {
+  if (lookahead < 0) throw std::invalid_argument("lookahead must be >= 0");
+  rounds_ = 0;
+  if (threads > 1 && shards_.size() > 1) {
+    run_parallel(lookahead, std::min(threads, shards_.size()), max_events);
+    return;
+  }
+  // Serial oracle: identical window arithmetic, shards advanced in index
+  // order on this thread. (The windows themselves cannot change behavior —
+  // shards are event-disjoint — so this also equals plain run_all() per
+  // shard; the CI oracle step relies on that.)
+  const std::uint64_t start = events_processed();
+  for (;;) {
+    TimePoint t_min = Simulator::kNoEvent;
+    for (const auto& s : shards_)
+      t_min = std::min(t_min, s->next_event_time());
+    if (t_min == Simulator::kNoEvent) return;
+    const TimePoint horizon = t_min + lookahead;
+    ++rounds_;
+    for (const auto& s : shards_) {
+      if (s->next_event_time() <= horizon) s->run_until(horizon);
+    }
+    if (events_processed() - start > max_events)
+      throw std::runtime_error("sharded simulator event cap (livelock?)");
+  }
+}
+
+void ShardedSimulator::run_parallel(Duration lookahead, std::size_t workers,
+                                    std::uint64_t max_events) {
+  // Persistent pool; one generation per round. Workers claim active
+  // shards through an atomic cursor, so a shard runs on exactly one
+  // thread per round.
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  bool stop = false;
+  std::size_t idle = 0;
+  std::vector<Simulator*> active;
+  TimePoint horizon = 0;
+  std::atomic<std::size_t> cursor{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        {
+          std::unique_lock lk(mutex);
+          ++idle;
+          done_cv.notify_one();
+          work_cv.wait(lk, [&] { return stop || generation != seen; });
+          if (stop) return;
+          seen = generation;
+          --idle;
+        }
+        for (std::size_t i; (i = cursor.fetch_add(1)) < active.size();)
+          active[i]->run_until(horizon);
+      }
+    });
+  }
+
+  const std::uint64_t start = events_processed();
+  {
+    std::unique_lock lk(mutex);
+    done_cv.wait(lk, [&] { return idle == workers; });
+  }
+  for (;;) {
+    TimePoint t_min = Simulator::kNoEvent;
+    for (const auto& s : shards_)
+      t_min = std::min(t_min, s->next_event_time());
+    if (t_min == Simulator::kNoEvent) break;
+    const TimePoint h = t_min + lookahead;
+    active.clear();
+    for (const auto& s : shards_)
+      if (s->next_event_time() <= h) active.push_back(s.get());
+    cursor.store(0);
+    horizon = h;
+    ++rounds_;
+    {
+      std::unique_lock lk(mutex);
+      ++generation;
+      work_cv.notify_all();
+      done_cv.wait(lk, [&] {
+        return idle == workers && cursor.load() >= active.size();
+      });
+    }
+    if (events_processed() - start > max_events) break;  // joined below
+  }
+  {
+    std::unique_lock lk(mutex);
+    stop = true;
+    work_cv.notify_all();
+  }
+  for (std::thread& t : pool) t.join();
+  if (events_processed() - start > max_events)
+    throw std::runtime_error("sharded simulator event cap (livelock?)");
+}
+
+}  // namespace hlock::sim

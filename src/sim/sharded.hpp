@@ -1,0 +1,73 @@
+// Shard-parallel discrete-event simulation.
+//
+// One Simulator per shard, each with its own event slab, heap and queue
+// pool (the PR 3 cache-lean core, unchanged). The harness assigns every
+// lock tree — a whole hierarchy plus its SimNetwork and nodes — to one
+// shard, so shards never exchange events; they interact only through the
+// shared virtual clock. Shards advance concurrently in conservative
+// windows (classic synchronous PDES):
+//
+//   round: T    = min over shards of next_event_time()
+//          H    = T + lookahead        (lookahead = min network latency)
+//          each shard with work <= H runs run_until(H), in parallel
+//          barrier; repeat until every shard drains
+//
+// Within a round each shard is claimed by exactly one worker, so every
+// Simulator stays single-threaded; the round barrier (mutex + condvar)
+// provides the cross-round happens-before edge when a shard migrates
+// between workers. Because co-scheduled trees never exchange events, the
+// window boundaries cannot change any shard's event order — a sharded run
+// is bit-identical to running every shard serially to completion, which
+// is exactly the oracle the determinism CI step compares against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace hlock::sim {
+
+class ShardedSimulator {
+ public:
+  /// Create `shards` independent simulators (>= 1).
+  explicit ShardedSimulator(std::size_t shards);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Simulator& shard(std::size_t i) { return *shards_[i]; }
+  [[nodiscard]] const Simulator& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+
+  /// Events executed across all shards.
+  [[nodiscard]] std::uint64_t events_processed() const;
+  /// Conservative-window rounds executed by the last run_all() call.
+  /// Depends on the shard count and lookahead — diagnostic only, never
+  /// part of deterministic output.
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+
+  /// Advance every shard until all queues drain. `lookahead` is the
+  /// conservative window beyond the global minimum next-event time (use
+  /// the minimum network latency; must be >= 0). `threads` caps the
+  /// worker pool; <= 1 or a single shard runs the serial path — each
+  /// shard advanced in shard-index order on the calling thread, the
+  /// bit-identical oracle for any parallel configuration. Throws if more
+  /// than `max_events` run in total (livelock guard, as Simulator::
+  /// run_all).
+  void run_all(Duration lookahead, std::size_t threads,
+               std::uint64_t max_events = 2'000'000'000);
+
+ private:
+  void run_parallel(Duration lookahead, std::size_t workers,
+                    std::uint64_t max_events);
+
+  /// unique_ptr for stable addresses: engines and networks capture
+  /// Simulator& at construction.
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::uint64_t rounds_{0};
+};
+
+}  // namespace hlock::sim

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "common/types.hpp"
@@ -71,6 +72,15 @@ class Simulator {
   [[nodiscard]] TimePoint now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Timestamp of the earliest scheduled event, or kNoEvent when the queue
+  /// is empty. The sharded runner's conservative window computation peeks
+  /// this across shards to pick each round's horizon.
+  static constexpr TimePoint kNoEvent =
+      std::numeric_limits<TimePoint>::max();
+  [[nodiscard]] TimePoint next_event_time() const {
+    return heap_.empty() ? kNoEvent : heap_.front().t;
+  }
 
   /// Run the single earliest event. Returns false if none remain.
   bool step();

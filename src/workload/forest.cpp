@@ -1,0 +1,85 @@
+#include "workload/forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hlock::workload {
+
+ForestLayout::ForestLayout(std::uint32_t locks_per_tree, std::uint32_t levels)
+    : levels_(levels) {
+  if (levels != 3 && levels != 4)
+    throw std::invalid_argument("forest levels must be 3 or 4");
+  if (locks_per_tree < 8)
+    throw std::invalid_argument("need >= 8 locks per tree");
+  // Internal fanout ~8 pages per collection, ~8 collections per db. Two
+  // fixed-point passes pin the split; everything left over is pages, so
+  // almost the whole id space is leaves (as in a real page-lock table).
+  const std::uint32_t below_top = locks_per_tree - 1;
+  std::uint32_t pages = below_top;
+  std::uint32_t collections = 1;
+  std::uint32_t dbs = levels == 4 ? 1 : 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    collections = std::max<std::uint32_t>(1, pages / 8);
+    dbs = levels == 4 ? std::max<std::uint32_t>(1, collections / 8) : 0;
+    if (below_top <= collections + dbs)
+      throw std::invalid_argument("locks_per_tree too small for hierarchy");
+    pages = below_top - collections - dbs;
+  }
+  dbs_ = dbs;
+  collections_ = collections;
+  pages_ = pages;
+  total_ = 1 + dbs_ + collections_ + pages_;
+}
+
+ForestOpGen::ForestOpGen(const WorkloadSpec& spec, const ZipfTable& zipf,
+                         Rng rng)
+    : spec_(spec), zipf_(zipf), rng_(rng) {}
+
+ForestOp ForestOpGen::next() {
+  ForestOp op;
+  const double r = rng_.next_double();
+  double acc = spec_.p_entry_read;
+  if (r < acc) {
+    op.leaf_mode = Mode::kR;
+  } else if (r < (acc += spec_.p_table_read)) {
+    op.collection_scope = true;
+    op.leaf_mode = Mode::kR;
+  } else if (r < (acc += spec_.p_upgrade)) {
+    op.leaf_mode = Mode::kU;
+  } else if (r < (acc += spec_.p_entry_write)) {
+    op.leaf_mode = Mode::kW;
+  } else {
+    op.collection_scope = true;
+    op.leaf_mode = Mode::kW;
+  }
+  op.page = zipf_.sample(rng_);
+  // Same dwell distribution as the classic workload.
+  op.cs = std::max<Duration>(
+      usec(100), static_cast<Duration>(
+                     rng_.exponential(static_cast<double>(spec_.cs_mean))));
+  return op;
+}
+
+Duration ForestOpGen::next_idle() {
+  return std::max<Duration>(
+      usec(100), static_cast<Duration>(rng_.exponential(
+                     static_cast<double>(spec_.idle_mean))));
+}
+
+void ForestOpGen::plan_for(const ForestLayout& layout, const ForestOp& op,
+                           std::vector<lockmgr::PlanStep>& out) {
+  out.clear();
+  const Mode intent = lockmgr::intent_for(op.leaf_mode);
+  const std::uint32_t collection = layout.collection_of(op.page);
+  out.push_back({layout.top_lock(), intent});
+  if (layout.levels() == 4)
+    out.push_back({layout.db_lock(layout.db_of(collection)), intent});
+  if (op.collection_scope) {
+    out.push_back({layout.collection_lock(collection), op.leaf_mode});
+    return;
+  }
+  out.push_back({layout.collection_lock(collection), intent});
+  out.push_back({layout.page_lock(op.page), op.leaf_mode});
+}
+
+}  // namespace hlock::workload

@@ -34,6 +34,12 @@ struct WorkloadSpec {
   /// Ops issued per node before it stops.
   std::uint32_t ops_per_node = 100;
 
+  /// Many-lock forest workloads only: total locks across the whole forest
+  /// (0 = classic single-table layout) and the Zipf skew of page
+  /// selection (0 = uniform). Both are part of the cache key.
+  std::uint32_t lock_count = 0;
+  double zipf_theta = 0.0;
+
   std::uint64_t seed = 0x5eed;
 
   /// Field-wise equality — the sweep runner's memo cache compares full
@@ -52,6 +58,8 @@ struct WorkloadSpec {
       throw std::invalid_argument("timing means must be positive");
     if (entries_per_node == 0)
       throw std::invalid_argument("entries_per_node must be >= 1");
+    if (!(zipf_theta >= 0.0))
+      throw std::invalid_argument("zipf_theta must be >= 0");
   }
 };
 

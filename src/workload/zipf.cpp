@@ -1,0 +1,40 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hlock::workload {
+
+ZipfTable::ZipfTable(std::uint32_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("zipf needs >= 1 rank");
+  if (!(theta >= 0.0)) throw std::invalid_argument("zipf theta must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    acc += theta == 0.0 ? 1.0
+                        : std::pow(static_cast<double>(k) + 1.0, -theta);
+    cdf_[k] = acc;
+  }
+  norm_ = acc;
+  for (double& c : cdf_) c /= norm_;
+  cdf_.back() = 1.0;  // guard against accumulated rounding at the tail
+}
+
+std::uint32_t ZipfTable::sample(Rng& rng) const {
+  const double u = rng.next_double();  // in [0, 1)
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it == cdf_.end()
+                                        ? cdf_.size() - 1
+                                        : it - cdf_.begin());
+}
+
+double ZipfTable::probability(std::uint32_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  const double mass =
+      theta_ == 0.0 ? 1.0
+                    : std::pow(static_cast<double>(k) + 1.0, -theta_);
+  return mass / norm_;
+}
+
+}  // namespace hlock::workload

@@ -1,0 +1,44 @@
+// Zipf-distributed rank sampling for the many-lock workloads.
+//
+// P(rank k) ∝ 1 / (k+1)^theta over ranks 0..n-1; theta = 0 degenerates to
+// uniform. Real lock services see exactly this shape — a few scorching
+// tables and a long cold tail — and the protocol's message behavior under
+// hotspot skew is what the many-lock benchmarks measure.
+//
+// Sampling inverts a precomputed CDF (one double per rank, built once and
+// shared read-only by every generator), so a draw is one Rng call plus a
+// binary search: deterministic from the seed, allocation-free after
+// construction, and safe to share across shard threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hlock::workload {
+
+class ZipfTable {
+ public:
+  /// Build the CDF for `n` ranks (>= 1) with skew `theta` (>= 0).
+  ZipfTable(std::uint32_t n, double theta);
+
+  /// Draw one rank in [0, n) using the caller's Rng stream.
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return static_cast<std::uint32_t>(cdf_.size());
+  }
+  [[nodiscard]] double theta() const { return theta_; }
+
+  /// Analytic P(rank == k) — the reference the frequency tests check
+  /// sampled histograms against.
+  [[nodiscard]] double probability(std::uint32_t k) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cdf_[k] = P(rank <= k); cdf_.back() == 1
+  double theta_;
+  double norm_;  ///< generalized harmonic number H_{n,theta}
+};
+
+}  // namespace hlock::workload

@@ -1,0 +1,178 @@
+// ShardedSimulator and the many-lock forest harness: the load-bearing
+// property is that results are bitwise-invariant to the shard count and
+// the thread count (the CI oracle cmp depends on it), plus the lazy
+// engine materialization that keeps 10^5-lock forests cheap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "harness/many_locks_cluster.hpp"
+#include "sim/sharded.hpp"
+
+using namespace hlock;
+using namespace hlock::harness;
+
+namespace {
+
+ManyLocksConfig small_config() {
+  ManyLocksConfig cfg;
+  cfg.nodes = 3;
+  cfg.trees = 6;
+  cfg.levels = 4;
+  cfg.spec.lock_count = 6 * 200;
+  cfg.spec.zipf_theta = 0.9;
+  cfg.spec.ops_per_node = 8;
+  cfg.spec.seed = 0xf00d;
+  return cfg;
+}
+
+ManyLocksResult run_with(ManyLocksConfig cfg, std::size_t shards,
+                         std::size_t threads = 0) {
+  cfg.shards = shards;
+  cfg.run_threads = threads;
+  ManyLocksCluster cluster(cfg);
+  cluster.run();
+  return cluster.result();
+}
+
+}  // namespace
+
+TEST(ShardedSimulator, SingleShardMatchesPlainRunAll) {
+  // The same event program, run windowed (lookahead rounds) and plain.
+  std::vector<int> windowed;
+  std::vector<int> plain;
+  auto program = [](sim::Simulator& s, std::vector<int>& out) {
+    for (int i = 0; i < 5; ++i) {
+      s.schedule_at(i * 100, [&out, &s, i] {
+        out.push_back(i);
+        s.schedule_after(50, [&out, i] { out.push_back(100 + i); });
+      });
+    }
+  };
+  sim::ShardedSimulator sharded(1);
+  program(sharded.shard(0), windowed);
+  sharded.run_all(/*lookahead=*/30, /*threads=*/1);
+  sim::Simulator reference;
+  program(reference, plain);
+  reference.run_all();
+  EXPECT_EQ(windowed, plain);
+  EXPECT_EQ(sharded.events_processed(), reference.events_processed());
+}
+
+TEST(ShardedSimulator, ShardsAdvanceIndependently) {
+  sim::ShardedSimulator sharded(3);
+  std::vector<int> order;
+  sharded.shard(0).schedule_at(10, [&] { order.push_back(0); });
+  sharded.shard(1).schedule_at(20, [&] { order.push_back(1); });
+  sharded.shard(2).schedule_at(5, [&] { order.push_back(2); });
+  sharded.run_all(/*lookahead=*/1, /*threads=*/1);
+  // Serial path visits shards in index order within a round; with a tight
+  // lookahead the global windows order cross-shard work by virtual time.
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+  EXPECT_EQ(sharded.events_processed(), 3u);
+  EXPECT_GE(sharded.rounds(), 3u);
+}
+
+TEST(ShardedSimulator, ParallelRunExecutesEverything) {
+  sim::ShardedSimulator sharded(4);
+  std::atomic<int> ran{0};
+  for (std::size_t s = 0; s < 4; ++s) {
+    for (int i = 0; i < 50; ++i) {
+      sharded.shard(s).schedule_at(i * 10, [&sharded, &ran, s] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        sharded.shard(s).schedule_after(5, [&ran] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+  }
+  sharded.run_all(/*lookahead=*/25, /*threads=*/4);
+  EXPECT_EQ(ran.load(), 400);
+  EXPECT_EQ(sharded.events_processed(), 400u);
+}
+
+TEST(ShardedSimulator, EventCapThrows) {
+  sim::ShardedSimulator sharded(2);
+  // Self-rescheduling event: only the cap stops it.
+  std::function<void()> again = [&] {
+    sharded.shard(0).schedule_after(1, again);
+  };
+  sharded.shard(0).schedule_at(0, again);
+  EXPECT_THROW(sharded.run_all(10, 1, /*max_events=*/1000),
+               std::runtime_error);
+}
+
+TEST(ManyLocks, CompletesEveryOp) {
+  const ManyLocksResult r = run_with(small_config(), 1);
+  EXPECT_EQ(r.ops, 6u * 3 * 8);
+  EXPECT_GT(r.lock_requests, r.ops);  // >= 3 locks per op
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_GT(r.virtual_end, 0);
+  EXPECT_EQ(r.latency_factor.count(), r.ops);
+}
+
+TEST(ManyLocks, ResultInvariantToShardCount) {
+  const ManyLocksConfig cfg = small_config();
+  const ManyLocksResult serial = run_with(cfg, 1);
+  // 2 and 3 shards exercise uneven tree -> shard partitions.
+  EXPECT_EQ(serial, run_with(cfg, 2));
+  EXPECT_EQ(serial, run_with(cfg, 3));
+  EXPECT_EQ(serial, run_with(cfg, 6));
+}
+
+TEST(ManyLocks, ResultInvariantToThreadCount) {
+  const ManyLocksConfig cfg = small_config();
+  const ManyLocksResult serial = run_with(cfg, 4, 1);
+  EXPECT_EQ(serial, run_with(cfg, 4, 2));
+  EXPECT_EQ(serial, run_with(cfg, 4, 4));
+  EXPECT_EQ(serial, run_with(cfg, 4, 8));  // more threads than shards
+}
+
+TEST(ManyLocks, LazyEnginesMaterializeOnlyTouchedLocks) {
+  ManyLocksConfig cfg = small_config();
+  cfg.spec.lock_count = 6 * 5000;  // big id space, few ops
+  cfg.spec.ops_per_node = 4;
+  ManyLocksCluster cluster(cfg);
+  cluster.run();
+  const ManyLocksResult r = cluster.result();
+  EXPECT_EQ(r.locks_total, 6u * 5000);
+  // Zipf-hot pages plus ancestors: a tiny touched set. Full eager
+  // instantiation would be locks_total * nodes engines.
+  EXPECT_LT(r.engines_materialized, r.locks_total);
+  EXPECT_GT(r.engines_materialized, 0u);
+}
+
+TEST(ManyLocks, ZipfSkewShrinksTouchedSet) {
+  ManyLocksConfig cfg = small_config();
+  cfg.spec.lock_count = 6 * 2000;
+  ManyLocksConfig uniform = cfg;
+  uniform.spec.zipf_theta = 0.0;
+  ManyLocksConfig hot = cfg;
+  hot.spec.zipf_theta = 1.2;
+  EXPECT_LT(run_with(hot, 1).engines_materialized,
+            run_with(uniform, 1).engines_materialized);
+}
+
+TEST(ManyLocks, RejectsBadConfig) {
+  ManyLocksConfig cfg = small_config();
+  cfg.spec.lock_count = 0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.trees = 0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.levels = 5;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.nodes = 0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+}
+
+TEST(ManyLocks, ThreeLevelForestRuns) {
+  ManyLocksConfig cfg = small_config();
+  cfg.levels = 3;
+  const ManyLocksResult serial = run_with(cfg, 1);
+  EXPECT_EQ(serial.ops, 6u * 3 * 8);
+  EXPECT_EQ(serial, run_with(cfg, 3));
+}

@@ -271,6 +271,21 @@ TEST_F(ResultStoreTest, CanonicalKeyCoversEveryField) {
     v.config.engine_opts.enable_priorities = true;
     variants.push_back(v);
   }
+  {
+    SweepPoint v = base;
+    v.config.shards = 4;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.spec.lock_count = 50'000;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.spec.zipf_theta = 0.9;
+    variants.push_back(v);
+  }
   for (std::size_t i = 0; i < variants.size(); ++i)
     EXPECT_NE(canonical_point_key(variants[i]), base_key) << "variant " << i;
   // Identical points produce identical keys.

@@ -475,6 +475,67 @@ TEST(TcpFaults, FourNodeMeshSurvivesLateStartGarbageAndResets) {
   for (auto& t : threads) t.join();
 }
 
+// --- send-window backpressure -------------------------------------------
+
+TEST(TcpFaults, SendWindowCapRejectsThenDrainsOverLiveSocket) {
+  TcpConfig cfg = fast_cfg();
+  cfg.send_window_limit = 2;
+  const std::uint16_t peer_port = reserve_port();
+
+  TcpNode sender(NodeId{1}, 0, cfg);  // id 1 dials id 0
+  std::thread sender_loop([&] { sender.loop().run(); });
+  sender.set_peers({{NodeId{0}, {"127.0.0.1", peer_port}}});
+
+  // The peer is down: nothing can be acked, so the third send must hit
+  // the cap and be rejected without joining the window.
+  EXPECT_TRUE(sender.send(NodeId{0}, sample_message(1)));
+  EXPECT_TRUE(sender.send(NodeId{0}, sample_message(2)));
+  EXPECT_FALSE(sender.send(NodeId{0}, sample_message(3)));
+  EXPECT_FALSE(sender.send(NodeId{0}, sample_message(4)));
+  EXPECT_EQ(sender.stats().sends_rejected, 2u);
+  EXPECT_TRUE(spin_until([&] { return sender.unacked() == 2; }));
+
+  // Bring the peer up on the reserved port: the backoff re-dial connects,
+  // the two accepted frames deliver exactly once, their acks drain the
+  // window, and send() admits traffic again.
+  std::mutex mu;
+  std::vector<std::uint32_t> got;
+  TcpNode receiver(NodeId{0}, peer_port, fast_cfg());
+  receiver.set_handler([&](const Message& m) {
+    std::lock_guard<std::mutex> lk(mu);
+    got.push_back(m.lock.value);
+  });
+  std::thread receiver_loop([&] { receiver.loop().run(); });
+
+  EXPECT_TRUE(spin_until([&] { return sender.unacked() == 0; }, 10000));
+  EXPECT_TRUE(sender.send(NodeId{0}, sample_message(5)));
+  EXPECT_TRUE(spin_until([&] {
+    std::lock_guard<std::mutex> lk(mu);
+    return got.size() == 3;
+  }));
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    EXPECT_EQ(got, (std::vector<std::uint32_t>{1, 2, 5}))
+        << "rejected sends must not surface; accepted ones exactly once";
+  }
+
+  sender.loop().stop();
+  receiver.loop().stop();
+  sender_loop.join();
+  receiver_loop.join();
+}
+
+TEST(TcpFaults, SendWindowUnlimitedByDefault) {
+  TcpNode node(NodeId{1}, 0, fast_cfg());
+  std::thread loop([&] { node.loop().run(); });
+  node.set_peers({{NodeId{0}, {"127.0.0.1", reserve_port()}}});
+  for (std::uint32_t i = 0; i < 64; ++i)
+    EXPECT_TRUE(node.send(NodeId{0}, sample_message(i)));
+  EXPECT_EQ(node.stats().sends_rejected, 0u);
+  node.loop().stop();
+  loop.join();
+}
+
 // --- stats plumbing -----------------------------------------------------
 
 TEST(TcpFaults, StatsLineMentionsEveryCounter) {
@@ -486,7 +547,7 @@ TEST(TcpFaults, StatsLineMentionsEveryCounter) {
        {"dials=", "connect_failures=", "connects=", "accepts=", "reconnects=",
         "frames_out=", "frames_in=", "bytes_out=", "bytes_in=",
         "decode_errors=", "requeued_frames=", "heartbeats_sent=",
-        "idle_closes=", "outbox_hw=", "pending_hw="}) {
+        "idle_closes=", "sends_rejected=", "outbox_hw=", "pending_hw="}) {
     EXPECT_NE(line.find(key), std::string::npos) << key;
   }
   EXPECT_NE(line.find("dials=3"), std::string::npos);

@@ -93,6 +93,11 @@ Options parse_args(int argc, char** argv) {
       opt.tcp.heartbeat_interval = msec(parse_u32(arg, next()));
     } else if (arg == "--idle-timeout-ms") {
       opt.tcp.idle_timeout = msec(parse_u32(arg, next()));
+    } else if (arg == "--send-window") {
+      // Per-peer cap on unacked sends; 0 (default) = unbounded. Protocol
+      // messages past the cap are dropped (sends_rejected), so only use
+      // with workloads that tolerate loss.
+      opt.tcp.send_window_limit = parse_u32(arg, next());
     } else if (arg == "--peer") {
       const std::string spec = next();  // id=host:port
       const auto eq = spec.find('=');
