@@ -1,0 +1,199 @@
+#include "lockmgr/session_mux.hpp"
+
+#include <stdexcept>
+
+#include "core/mode.hpp"
+
+namespace hlock::lockmgr {
+
+namespace {
+
+/// The mode an op requests on the table lock.
+Mode table_mode(const Op& op) {
+  switch (op.kind) {
+    case OpKind::kEntryRead: return Mode::kIR;
+    case OpKind::kTableRead: return Mode::kR;
+    case OpKind::kTableUpgrade: return Mode::kU;
+    case OpKind::kEntryWrite: return Mode::kIW;
+    case OpKind::kTableWrite: return Mode::kW;
+  }
+  return Mode::kNone;
+}
+
+}  // namespace
+
+SessionMux::SessionMux(core::HlsNode& node, const ResourceLayout& layout,
+                       Executor& executor, std::uint32_t sessions)
+    : node_(node), layout_(layout), exec_(executor), clients_(sessions) {
+  if (sessions == 0) throw std::invalid_argument("need >= 1 session");
+  node_.set_on_acquired([this](LockId lock, RequestId id, Mode mode) {
+    on_acquired(lock, id, mode);
+  });
+  node_.set_on_upgraded(
+      [this](LockId lock, RequestId id) { on_upgraded(lock, id); });
+}
+
+void SessionMux::start(std::uint32_t session, const Op& op, DoneFn done) {
+  Client& c = clients_.at(session);
+  if (c.phase != Phase::kIdle)
+    throw std::logic_error("session already executing an op");
+  c.op = op;
+  c.done = std::move(done);
+  c.started = exec_.now();
+  c.acquire_latency = 0;
+  c.lock_requests = 0;
+  ++active_;
+  c.phase = Phase::kGated;
+  gate_queue_.push_back(session);
+  drain_gate();
+}
+
+void SessionMux::admit(std::uint32_t sid) {
+  Client& c = clients_[sid];
+  c.phase = Phase::kWaitTable;
+  issue(sid, layout_.table_lock(), table_mode(c.op));
+}
+
+void SessionMux::drain_gate() {
+  // FIFO with head-of-line blocking: an upgrade op at the head waits for
+  // every admitted op to finish (and blocks everything behind it, so it
+  // cannot be starved); any other op at the head only waits out an
+  // active upgrade op. The result is that engine.upgrade() always runs
+  // with an empty local pending slot — see the class comment.
+  while (!gate_queue_.empty()) {
+    const std::uint32_t sid = gate_queue_.front();
+    const bool upgrade = clients_[sid].op.kind == OpKind::kTableUpgrade;
+    if (upgrade ? admitted_ != 0 : active_upgrades_ != 0) return;
+    gate_queue_.pop_front();
+    ++admitted_;
+    if (upgrade) ++active_upgrades_;
+    admit(sid);
+  }
+}
+
+void SessionMux::issue(std::uint32_t sid, LockId lock, Mode mode) {
+  ++clients_[sid].lock_requests;
+  issuing_ = true;
+  issuing_bound_ = false;
+  issuing_sid_ = sid;
+  issuing_lock_ = lock;
+  const RequestId rid = node_.engine(lock).request_lock(mode);
+  issuing_ = false;
+  // A synchronous grant already bound (and possibly advanced) this
+  // request inside on_acquired; only a still-pending one needs routing.
+  if (!issuing_bound_) route_[key(lock, rid)] = sid;
+}
+
+void SessionMux::on_acquired(LockId lock, RequestId id, Mode /*mode*/) {
+  std::uint32_t sid;
+  const auto it = route_.find(key(lock, id));
+  if (it != route_.end()) {
+    sid = it->second;
+  } else if (issuing_ && lock == issuing_lock_ && !issuing_bound_) {
+    // Synchronous grant for the request_lock call currently on the
+    // stack: its id reaches us before issue() could learn it.
+    sid = issuing_sid_;
+    issuing_bound_ = true;
+    route_[key(lock, id)] = sid;
+  } else {
+    throw std::logic_error("grant for an unrouted (lock, request) pair");
+  }
+  grant(sid, lock, id);
+}
+
+void SessionMux::grant(std::uint32_t sid, LockId lock, RequestId id) {
+  Client& c = clients_[sid];
+  if (c.phase == Phase::kWaitTable && lock == layout_.table_lock()) {
+    c.table_rid = id;
+    if (c.op.kind == OpKind::kEntryRead || c.op.kind == OpKind::kEntryWrite) {
+      // Intent acquired; take the leaf lock next. Scheduled to respect
+      // the no-reentrancy contract (we may be inside request_lock).
+      c.phase = Phase::kWaitEntry;
+      const Mode leaf = c.op.kind == OpKind::kEntryRead ? Mode::kR : Mode::kW;
+      exec_.schedule(0, [this, sid, leaf] {
+        issue(sid, layout_.entry_lock(clients_[sid].op.entry), leaf);
+      });
+    } else {
+      enter_cs(sid);
+    }
+    return;
+  }
+  if (c.phase == Phase::kWaitEntry && lock == layout_.entry_lock(c.op.entry)) {
+    c.entry_rid = id;
+    enter_cs(sid);
+    return;
+  }
+  throw std::logic_error("unexpected acquisition callback");
+}
+
+void SessionMux::enter_cs(std::uint32_t sid) {
+  Client& c = clients_[sid];
+  c.phase = Phase::kInCs;
+  c.acquire_latency = exec_.now() - c.started;
+  // Upgrade ops split the dwell: read under U, then write under W.
+  const Duration dwell =
+      c.op.kind == OpKind::kTableUpgrade ? c.op.cs / 2 : c.op.cs;
+  exec_.schedule(dwell, [this, sid] { leave_cs(sid); });
+}
+
+void SessionMux::leave_cs(std::uint32_t sid) {
+  Client& c = clients_[sid];
+  if (c.op.kind == OpKind::kTableUpgrade && c.phase == Phase::kInCs) {
+    // The upgrade completion reuses table_rid, whose route entry is
+    // still live, so on_upgraded finds its way back here.
+    c.phase = Phase::kWaitUpgrade;
+    node_.engine(layout_.table_lock()).upgrade(c.table_rid);
+    return;
+  }
+  // Release leaf before intent (standard hierarchical order).
+  if (c.op.kind == OpKind::kEntryRead || c.op.kind == OpKind::kEntryWrite) {
+    const LockId entry = layout_.entry_lock(c.op.entry);
+    node_.engine(entry).unlock(c.entry_rid);
+    route_.erase(key(entry, c.entry_rid));
+  }
+  node_.engine(layout_.table_lock()).unlock(c.table_rid);
+  route_.erase(key(layout_.table_lock(), c.table_rid));
+  finish(sid);
+}
+
+void SessionMux::on_upgraded(LockId lock, RequestId id) {
+  const auto it = route_.find(key(lock, id));
+  if (it == route_.end())
+    throw std::logic_error("upgrade completion for an unrouted pair");
+  const std::uint32_t sid = it->second;
+  Client& c = clients_[sid];
+  if (c.phase != Phase::kWaitUpgrade || lock != layout_.table_lock() ||
+      id != c.table_rid) {
+    throw std::logic_error("unexpected upgrade callback");
+  }
+  c.phase = Phase::kInCs2;
+  exec_.schedule(c.op.cs - c.op.cs / 2, [this, sid] {
+    Client& c2 = clients_[sid];
+    node_.engine(layout_.table_lock()).unlock(c2.table_rid);
+    route_.erase(key(layout_.table_lock(), c2.table_rid));
+    finish(sid);
+  });
+}
+
+void SessionMux::finish(std::uint32_t sid) {
+  Client& c = clients_[sid];
+  c.phase = Phase::kIdle;
+  --active_;
+  ++completed_;
+  // Release the gate slot before the done callback: it may start a new
+  // op on this session, which must see up-to-date admission counts.
+  --admitted_;
+  if (c.op.kind == OpKind::kTableUpgrade) --active_upgrades_;
+  OpStats stats;
+  stats.op = c.op;
+  stats.lock_requests = c.lock_requests;
+  stats.acquire_latency = c.acquire_latency;
+  if (c.done) {
+    DoneFn done = std::move(c.done);
+    c.done = nullptr;
+    done(stats);
+  }
+  drain_gate();
+}
+
+}  // namespace hlock::lockmgr

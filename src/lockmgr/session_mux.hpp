@@ -1,0 +1,147 @@
+// SessionMux — many logical client sessions multiplexed over one node's
+// engine stack.
+//
+// A production lock service does not run one client per process: one
+// service node fronts many concurrent application sessions, all sharing
+// that node's protocol engines (and therefore its single TCP connection
+// per peer). SessionMux is that client session layer. Each logical
+// session runs the same two-phase hierarchical state machine as
+// HierSession (intent on the table, leaf mode on the entry, Rule 7
+// upgrades), but N of them are in flight at once on one HlsNode.
+//
+// Demultiplexing: HlsNode exposes a single pair of acquisition callbacks
+// tagged (LockId, RequestId, Mode). Request ids are only unique per
+// engine — engines mint `(node << 32) | counter` independently — so
+// grants are routed back to their session by the (lock, request) PAIR,
+// never by request id alone. Grants may also fire synchronously from
+// inside request_lock(), before the id could be recorded: the mux keeps
+// an "issuing slot" naming the session whose request_lock call is on the
+// stack, and a grant that matches no routed pair binds to that slot.
+//
+// Local upgrade gate: the engine runs ONE outstanding local request at a
+// time; anything else backlogs behind it in FIFO order. A U-holder's
+// upgrade() therefore queues behind any pending local request — and that
+// request can be waiting, directly or transitively, on OUR unreleased U
+// hold. The direct case is a local U/IW/W request; the sneaky case is a
+// local R that Rule 6 froze because a REMOTE writer is queued at the
+// token, parking our R in FIFO order behind a remote IW that itself
+// waits for our U. Either way it is a queueing deadlock no protocol
+// rule can break (Rule 7 only prioritizes upgrades once they reach a
+// queue). The mux prevents it by admission control: an upgrade op is
+// admitted only when NO other op is in flight on this node, and no op
+// is admitted while an upgrade op is active — so engine.upgrade() always
+// finds the local pending slot empty and fires immediately, where Rule 7
+// takes over. At most one node can hold U at a time (U is
+// self-incompatible), so this serialization is brief and global
+// progress is preserved. Parked sessions wait in FIFO order, so
+// upgrades cannot be starved by a stream of other ops.
+//
+// Threading contract: everything here runs on the engine's executor
+// thread (the simulator, or a TcpNode's event loop). start() must be
+// called from that thread — from a handler, a scheduled continuation, or
+// loop().post(). Like the engines themselves, continuations are
+// scheduled, never run re-entrantly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/executor.hpp"
+#include "common/types.hpp"
+#include "core/hls_node.hpp"
+#include "lockmgr/op.hpp"
+#include "lockmgr/resource.hpp"
+#include "lockmgr/session.hpp"
+
+namespace hlock::lockmgr {
+
+class SessionMux {
+ public:
+  /// Takes over `node`'s acquisition callbacks (like HierSession, which
+  /// it replaces — do not install both). `sessions` logical clients,
+  /// addressed 0..sessions-1.
+  SessionMux(core::HlsNode& node, const ResourceLayout& layout,
+             Executor& executor, std::uint32_t sessions);
+
+  /// Begin executing `op` on logical session `session`; `done` fires
+  /// (from executor context) after all its locks have been released.
+  /// One op at a time per session; other sessions proceed concurrently.
+  void start(std::uint32_t session, const Op& op, DoneFn done);
+
+  [[nodiscard]] bool busy(std::uint32_t session) const {
+    return clients_[session].phase != Phase::kIdle;
+  }
+  [[nodiscard]] std::uint32_t session_count() const {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+  /// Sessions currently executing an op.
+  [[nodiscard]] std::uint32_t active() const { return active_; }
+  /// Ops completed across all sessions since construction.
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kGated,        ///< parked in the local upgrade gate, not yet issued
+    kWaitTable,    ///< table-level mode requested
+    kWaitEntry,    ///< intent held, entry leaf requested
+    kInCs,         ///< dwelling in the (first) critical section
+    kWaitUpgrade,  ///< U -> W upgrade in flight
+    kInCs2,        ///< write phase of an upgrade op
+  };
+
+  /// One logical client: the HierSession state machine, minus the
+  /// callbacks (owned centrally by the mux).
+  struct Client {
+    Phase phase{Phase::kIdle};
+    Op op{};
+    DoneFn done;
+    TimePoint started{0};
+    Duration acquire_latency{0};
+    std::uint32_t lock_requests{0};
+    RequestId table_rid{};
+    RequestId entry_rid{};
+  };
+
+  /// (lock id, request id): the only per-node-unique grant address.
+  using RouteKey = std::pair<std::uint32_t, std::uint64_t>;
+  static RouteKey key(LockId lock, RequestId id) {
+    return {lock.value, id.value};
+  }
+
+  void admit(std::uint32_t sid);
+  void drain_gate();
+  void issue(std::uint32_t sid, LockId lock, Mode mode);
+  void on_acquired(LockId lock, RequestId id, Mode mode);
+  void on_upgraded(LockId lock, RequestId id);
+  void grant(std::uint32_t sid, LockId lock, RequestId id);
+  void enter_cs(std::uint32_t sid);
+  void leave_cs(std::uint32_t sid);
+  void finish(std::uint32_t sid);
+
+  core::HlsNode& node_;
+  const ResourceLayout& layout_;
+  Executor& exec_;
+  std::vector<Client> clients_;
+  /// Grant/upgrade routing; entries live from issue until unlock so
+  /// upgrade completions (which reuse the original request id) route too.
+  std::map<RouteKey, std::uint32_t> route_;
+  /// Issuing slot: request_lock() may grant synchronously, before its
+  /// return value exists anywhere; a grant matching no route binds here.
+  bool issuing_{false};
+  bool issuing_bound_{false};
+  std::uint32_t issuing_sid_{0};
+  LockId issuing_lock_{};
+  /// Local upgrade gate (see file comment): sessions parked in start
+  /// order, plus counts of admitted (issued, unfinished) and upgrade ops.
+  std::deque<std::uint32_t> gate_queue_;
+  std::uint32_t admitted_{0};
+  std::uint32_t active_upgrades_{0};
+  std::uint32_t active_{0};
+  std::uint64_t completed_{0};
+};
+
+}  // namespace hlock::lockmgr

@@ -44,6 +44,13 @@ TcpStats InProcessCluster::total_stats() const {
     total.requeued_frames += s.requeued_frames;
     total.heartbeats_sent += s.heartbeats_sent;
     total.idle_closes += s.idle_closes;
+    total.sends_rejected += s.sends_rejected;
+    total.batches_written += s.batches_written;
+    for (std::size_t b = 0; b < kBatchHistBuckets; ++b)
+      total.frames_per_batch[b] += s.frames_per_batch[b];
+    total.acks_piggybacked += s.acks_piggybacked;
+    total.acks_standalone += s.acks_standalone;
+    total.peer_restarts += s.peer_restarts;
     total.outbox_high_water =
         std::max(total.outbox_high_water, s.outbox_high_water);
     total.pending_high_water =

@@ -4,25 +4,38 @@
 
 namespace hlock::net {
 
-std::vector<std::uint8_t> frame(const Message& m, std::uint64_t seq) {
-  // encoded_size() is exact, so prefix, sequence number, and payload go
-  // into one buffer with a single allocation (ByteWriter::u32 is
-  // little-endian, matching the prefix FrameDecoder expects).
+std::vector<std::uint8_t> frame(const Message& m, std::uint64_t seq,
+                                std::uint64_t ack) {
+  // encoded_size() is exact, so prefix, sequence number, ack slot, and
+  // payload go into one buffer with a single allocation (ByteWriter::u32
+  // is little-endian, matching the prefix FrameDecoder expects). Every
+  // frame is emitted in the v2 layout: the ack slot is always present so
+  // TcpNode can stamp a cumulative ack into a queued frame in place
+  // (kAckFieldOffset) without re-encoding.
   const std::size_t payload = encoded_size(m);
   ByteWriter w;
-  w.reserve(payload + 12);
-  w.u32(static_cast<std::uint32_t>(payload + 8));
+  w.reserve(payload + 20);
+  w.u32(static_cast<std::uint32_t>(payload + 16) | kAckFlagBit);
   w.u64(seq);
+  w.u64(ack);
   encode_into(w, m);
   return w.take();
 }
 
-std::vector<std::uint8_t> hello_frame(NodeId self) {
+std::vector<std::uint8_t> hello_frame(NodeId self, std::uint64_t epoch) {
   ByteWriter w;
-  w.reserve(4 + 1 + 4);
-  w.u32(kControlFrameBit | 5u);
+  if (epoch == 0) {  // legacy body, for peers (and tests) without epochs
+    w.reserve(4 + 1 + 4);
+    w.u32(kControlFrameBit | 5u);
+    w.u8(static_cast<std::uint8_t>(ControlOp::kHello));
+    w.u32(self.value);
+    return w.take();
+  }
+  w.reserve(4 + 1 + 4 + 8);
+  w.u32(kControlFrameBit | 13u);
   w.u8(static_cast<std::uint8_t>(ControlOp::kHello));
   w.u32(self.value);
+  w.u64(epoch);
   return w.take();
 }
 
@@ -63,20 +76,30 @@ bool FrameDecoder::next_frame(DecodedFrame& out) {
                                (static_cast<std::uint32_t>(p[2]) << 16) |
                                (static_cast<std::uint32_t>(p[3]) << 24);
   const bool control = (prefix & kControlFrameBit) != 0;
-  const std::uint32_t len = prefix & ~kControlFrameBit;
+  const std::uint32_t len = prefix & kLengthMask;
   if (control) {
+    if ((prefix & kAckFlagBit) != 0)
+      throw DecodeError("ack flag on control frame");
     if (len == 0 || len > kMaxControlBytes)
       throw DecodeError("bad control frame length");
   } else if (len > kMaxFrameBytes) {
     throw DecodeError("oversized frame");
   }
   if (buffered() < 4 + static_cast<std::size_t>(len)) return false;
+  // `out` may be reused across next_frame calls; clear the optional
+  // fields so a v1 frame cannot inherit a previous frame's values.
+  out.has_ack = false;
+  out.ack_seq = 0;
+  out.hello_epoch = 0;
   if (control) {
     ByteReader r(p + 4, len);
     const auto op = r.u8();
     switch (static_cast<ControlOp>(op)) {
       case ControlOp::kHello:
         out.hello_node = NodeId{r.u32()};
+        // v2 hellos append the sender's boot epoch; legacy hellos end
+        // after the node id and decode with epoch 0 ("unknown").
+        if (!r.done()) out.hello_epoch = r.u64();
         break;
       case ControlOp::kPing:
         break;
@@ -90,9 +113,16 @@ bool FrameDecoder::next_frame(DecodedFrame& out) {
     out.control = true;
     out.op = static_cast<ControlOp>(op);
   } else {
-    if (len < 8) throw DecodeError("data frame too short for sequence");
-    out.seq = ByteReader(p + 4, 8).u64();
-    out.msg = decode(p + 12, len - 8);
+    const bool has_ack = (prefix & kAckFlagBit) != 0;
+    const std::uint32_t header = has_ack ? 16 : 8;
+    if (len < header) throw DecodeError("data frame too short for header");
+    ByteReader r(p + 4, header);
+    out.seq = r.u64();
+    if (has_ack) {
+      out.ack_seq = r.u64();
+      out.has_ack = true;
+    }
+    out.msg = decode(p + 4 + header, len - header);
     out.control = false;
   }
   pos_ += 4 + len;

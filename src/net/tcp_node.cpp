@@ -6,11 +6,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
@@ -43,10 +46,36 @@ void bump_max(std::atomic<std::uint64_t>& hw, std::uint64_t v) {
   if (v > hw.load(kRelax)) hw.store(v, kRelax);
 }
 
+/// Boot epoch for this process: wall-clock nanoseconds mixed with
+/// hardware entropy, forced nonzero (0 on the wire means "legacy peer,
+/// no epoch"). Two incarnations of the same node id colliding would need
+/// both the clock and random_device to repeat.
+std::uint64_t generate_epoch() {
+  auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+  std::random_device rd;
+  std::uint64_t e = static_cast<std::uint64_t>(ns);
+  e ^= (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return e == 0 ? 1 : e;
+}
+
+/// frames_per_batch bucket for a writev that gathered `n` frames.
+std::size_t batch_bucket(int n) {
+  if (n <= 1) return 0;
+  if (n <= 4) return 1;
+  if (n <= 16) return 2;
+  return 3;
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
 }  // namespace
 
 TcpNode::TcpNode(NodeId self, std::uint16_t port, TcpConfig cfg)
-    : self_(self), cfg_(cfg), transport_(*this) {
+    : self_(self), cfg_(cfg), epoch_(generate_epoch()), transport_(*this) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) sys_fail("socket");
   const int one = 1;
@@ -258,7 +287,7 @@ void TcpNode::established(Connection& c, bool outbound) {
   } else {
     stats_.accepts.fetch_add(1, kRelax);
   }
-  queue_frame(c, hello_frame(self_), /*control=*/true);
+  queue_frame(c, hello_frame(self_, epoch_), /*control=*/true);
   if (outbound) {
     resend_window(c);  // flushes when the peer's window was non-empty
     if (conns_.find(fd) == conns_.end()) return;  // flush may have closed
@@ -285,7 +314,7 @@ void TcpNode::resend_window(Connection& c) {
   for (Unacked& u : it->second.window) {
     if (u.sent_once) stats_.requeued_frames.fetch_add(1, kRelax);
     u.sent_once = true;
-    queue_frame(c, u.bytes);
+    queue_frame(c, u.bytes);  // copies; the window entry must stay intact
   }
   flush(c);
 }
@@ -321,12 +350,34 @@ bool TcpNode::send(NodeId to, Message m) {
     if (c != nullptr) {
       ss.window.back().sent_once = true;
       queue_frame(*c, ss.window.back().bytes);
-      flush(*c);
+      request_flush(*c);
       return;
     }
     maybe_dial(to);  // no-op unless this side owns the dial
   });
   return true;
+}
+
+void TcpNode::request_flush(Connection& c) {
+  if (cfg_.max_batch_bytes == 0) {
+    // Coalescing disabled: write-per-send, the historical behaviour.
+    flush(c);
+    return;
+  }
+  // Defer one loop turn so every frame queued in this drain batch — all
+  // sends posted since the last poll, including a whole read burst's
+  // worth of engine replies — leaves in one vectored write. Posted tasks
+  // drain before due timers fire, so the deferral adds no poll round
+  // trip, only tail-of-batch ordering.
+  if (c.flush_scheduled) return;
+  c.flush_scheduled = true;
+  const int fd = c.fd;
+  loop_.schedule(0, [this, fd] {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    it->second->flush_scheduled = false;
+    flush(*it->second);
+  });
 }
 
 TcpNode::Connection* TcpNode::established_conn(NodeId peer) {
@@ -337,50 +388,124 @@ TcpNode::Connection* TcpNode::established_conn(NodeId peer) {
   return cit->second.get();
 }
 
-void TcpNode::queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes,
+void TcpNode::queue_frame(Connection& c, std::vector<std::uint8_t> bytes,
                           bool control) {
-  if (c.outbox_pos == c.outbox.size() && c.frames.empty()) {
-    c.outbox.clear();
-    c.outbox_pos = 0;
-  } else if (c.outbox_pos > 65536) {
-    // Reclaim the consumed prefix once it dominates the buffer — but never
-    // past the start of a partially-written frame, whose offset must stay
-    // a valid index for flush()'s completion accounting.
-    std::size_t reclaim = c.outbox_pos;
-    if (!c.frames.empty()) reclaim = std::min(reclaim, c.frames.front().off);
-    if (reclaim > 0 && reclaim * 2 > c.outbox.size()) {
-      c.outbox.erase(c.outbox.begin(),
-                     c.outbox.begin() + static_cast<std::ptrdiff_t>(reclaim));
-      c.outbox_pos -= reclaim;
-      for (OutFrame& f : c.frames) f.off -= reclaim;
+  if (!control && cfg_.ack_piggyback_window > 0 && c.ack_due &&
+      c.peer.valid()) {
+    // An ack is owed to this peer and a data frame is about to join the
+    // queue: stamp the cumulative ack into its v2 ack slot instead of
+    // spending a standalone kAck frame. (Only the queued copy is stamped;
+    // the send-window original keeps ack 0, which decodes as "no info".)
+    const std::uint64_t ack = recv_seq_[c.peer];
+    if (ack > 0 && bytes.size() >= kAckFieldOffset + 8) {
+      store_le64(bytes.data() + kAckFieldOffset, ack);
+      c.ack_due = false;
+      cancel_ack_timer(c);
+      stats_.acks_piggybacked.fetch_add(1, kRelax);
     }
   }
-  c.frames.push_back(OutFrame{c.outbox.size(),
-                              static_cast<std::uint32_t>(bytes.size()),
-                              control});
-  c.outbox.insert(c.outbox.end(), bytes.begin(), bytes.end());
-  bump_max(stats_.outbox_high_water, c.outbox.size() - c.outbox_pos);
+  c.outbox_bytes += bytes.size();
+  c.frames.push_back(OutFrame{std::move(bytes), control});
+  bump_max(stats_.outbox_high_water, c.outbox_bytes);
+}
+
+bool TcpNode::try_stamp_queued_ack(Connection& c) {
+  if (!c.peer.valid()) return false;
+  const std::uint64_t ack = recv_seq_[c.peer];
+  if (ack == 0) return false;
+  // Skip the front frame when part of it is already on the wire — its
+  // header bytes may be sent, so stamping it would corrupt the stream.
+  for (std::size_t i = (c.front_pos > 0) ? 1 : 0; i < c.frames.size(); ++i) {
+    OutFrame& f = c.frames[i];
+    if (f.control || f.bytes.size() < kAckFieldOffset + 8) continue;
+    store_le64(f.bytes.data() + kAckFieldOffset, ack);
+    return true;
+  }
+  return false;
+}
+
+void TcpNode::queue_standalone_ack(Connection& c) {
+  c.ack_due = false;
+  cancel_ack_timer(c);
+  stats_.acks_standalone.fetch_add(1, kRelax);
+  queue_frame(c, ack_frame(recv_seq_[c.peer]), /*control=*/true);
+}
+
+void TcpNode::arm_ack_timer(Connection& c) {
+  if (c.ack_timer_pending) return;
+  const int fd = c.fd;
+  c.ack_timer_pending = true;
+  c.ack_timer_id =
+      loop_.schedule_cancellable(cfg_.ack_piggyback_window, [this, fd] {
+        // close_conn cancels this timer, so `fd` cannot have been reused.
+        const auto it = conns_.find(fd);
+        if (it == conns_.end()) return;
+        Connection& c2 = *it->second;
+        c2.ack_timer_pending = false;
+        if (!c2.ack_due) return;  // a data frame carried it in the meantime
+        queue_standalone_ack(c2);
+        flush(c2);
+      });
+}
+
+void TcpNode::cancel_ack_timer(Connection& c) {
+  if (!c.ack_timer_pending) return;
+  loop_.cancel_timer(c.ack_timer_id);
+  c.ack_timer_pending = false;
 }
 
 void TcpNode::flush(Connection& c) {
   if (c.connecting) return;
-  while (c.outbox_pos < c.outbox.size()) {
-    // One contiguous write of everything pending.
-    const ssize_t n = ::send(c.fd, c.outbox.data() + c.outbox_pos,
-                             c.outbox.size() - c.outbox_pos, MSG_NOSIGNAL);
+  while (!c.frames.empty()) {
+    // Gather the head of the queue into one vectored write: up to
+    // kMaxBatchFrames iovecs or max_batch_bytes, whichever comes first
+    // (max_batch_bytes == 0 pins every batch to a single frame — the
+    // measurement baseline). sendmsg is writev plus MSG_NOSIGNAL.
+    struct iovec iov[kMaxBatchFrames];
+    int iovcnt = 0;
+    std::size_t batch_bytes = 0;
+    for (std::size_t i = 0; i < c.frames.size() && iovcnt < kMaxBatchFrames;
+         ++i) {
+      OutFrame& f = c.frames[i];
+      const std::size_t off = (i == 0) ? c.front_pos : 0;
+      iov[iovcnt].iov_base = f.bytes.data() + off;
+      iov[iovcnt].iov_len = f.bytes.size() - off;
+      batch_bytes += iov[iovcnt].iov_len;
+      ++iovcnt;
+      if (cfg_.max_batch_bytes == 0 || batch_bytes >= cfg_.max_batch_bytes)
+        break;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(c.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      c.outbox_pos += static_cast<std::size_t>(n);
-      c.last_send = loop_.now();
+      stats_.batches_written.fetch_add(1, kRelax);
+      stats_.frames_per_batch[batch_bucket(iovcnt)].fetch_add(1, kRelax);
       stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n), kRelax);
-      while (!c.frames.empty() &&
-             c.frames.front().off + c.frames.front().len <= c.outbox_pos) {
-        stats_.frames_out.fetch_add(1, kRelax);
-        c.frames.pop_front();
+      c.last_send = loop_.now();
+      // Advance the frame cursor over whatever the kernel took; a short
+      // write leaves front_pos mid-frame and the loop retries immediately
+      // (no extra poll round trip while the socket buffer has room).
+      std::size_t left = static_cast<std::size_t>(n);
+      c.outbox_bytes -= left;
+      while (left > 0) {
+        OutFrame& f = c.frames.front();
+        const std::size_t remain = f.bytes.size() - c.front_pos;
+        if (left >= remain) {
+          left -= remain;
+          c.front_pos = 0;
+          stats_.frames_out.fetch_add(1, kRelax);
+          c.frames.pop_front();
+        } else {
+          c.front_pos += left;
+          left = 0;
+        }
       }
-      continue;
+      continue;  // keep writing until the queue drains or EAGAIN
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Wait for writability.
+      // Kernel buffer full: wait for writability.
       const int fd = c.fd;
       loop_.watch(fd, POLLIN | POLLOUT, [this, fd](std::uint32_t revents) {
         on_conn_event(fd, revents);
@@ -391,10 +516,8 @@ void TcpNode::flush(Connection& c) {
     close_conn(c.fd);
     return;
   }
-  // Outbox drained: release the buffer cursor and stop watching POLLOUT.
-  c.outbox.clear();
-  c.outbox_pos = 0;
-  c.frames.clear();
+  // Outbox drained: stop watching POLLOUT.
+  c.front_pos = 0;
   const int fd = c.fd;
   loop_.watch(fd, POLLIN,
               [this, fd](std::uint32_t revents) { on_conn_event(fd, revents); });
@@ -445,11 +568,25 @@ void TcpNode::on_conn_event(int fd, std::uint32_t revents) {
       return;
     }
     if (c.ack_due && !dead && !hangup) {
-      // One cumulative ack per read burst, not per frame.
-      c.ack_due = false;
-      queue_frame(c, ack_frame(recv_seq_[c.peer]), /*control=*/true);
-      flush(c);
-      if (conns_.find(fd) == conns_.end()) return;
+      // One cumulative ack per read burst, not per frame. With
+      // piggybacking on, prefer riding a queued-unsent data frame; failing
+      // that, give a data frame ack_piggyback_window to show up before
+      // falling back to a standalone kAck.
+      if (cfg_.ack_piggyback_window > 0) {
+        if (try_stamp_queued_ack(c)) {
+          c.ack_due = false;
+          cancel_ack_timer(c);
+          stats_.acks_piggybacked.fetch_add(1, kRelax);
+          flush(c);
+          if (conns_.find(fd) == conns_.end()) return;
+        } else {
+          arm_ack_timer(c);
+        }
+      } else {
+        queue_standalone_ack(c);
+        flush(c);
+        if (conns_.find(fd) == conns_.end()) return;
+      }
     }
   }
   if (dead || hangup) {
@@ -460,6 +597,21 @@ void TcpNode::on_conn_event(int fd, std::uint32_t revents) {
     return;
   }
   if (revents & POLLOUT) flush(c);
+}
+
+void TcpNode::process_ack(NodeId peer, std::uint64_t ack_seq) {
+  auto& ss = send_[peer];
+  std::size_t trimmed = 0;
+  while (!ss.window.empty() && ss.window.front().seq <= ack_seq) {
+    ss.window.pop_front();
+    --unacked_frames_;
+    ++trimmed;
+  }
+  if (trimmed != 0 && cfg_.send_window_limit != 0) {
+    std::lock_guard<std::mutex> lk(window_mu_);
+    auto& pending = window_pending_[peer];
+    pending -= std::min(pending, trimmed);
+  }
 }
 
 void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
@@ -476,6 +628,21 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
         }
         const bool inbound_first = !c.peer.valid();
         if (inbound_first) c.peer = f.hello_node;
+        if (f.hello_epoch != 0) {
+          // A hello always precedes data on its connection (TCP stream
+          // order), so resetting the dedup state here is race-free: no
+          // frame from the new incarnation can have been delivered yet.
+          auto& known = peer_epoch_[c.peer];
+          if (known != 0 && known != f.hello_epoch) {
+            stats_.peer_restarts.fetch_add(1, kRelax);
+            recv_seq_[c.peer] = 0;
+            HLOCK_LOG(kInfo, "node " << self_ << ": peer " << c.peer
+                                     << " restarted (epoch " << known
+                                     << " -> " << f.hello_epoch
+                                     << "); sequence state reset");
+          }
+          known = f.hello_epoch;
+        }
         if (!c.greeted) {
           c.greeted = true;
           // Only a completed handshake proves the link works end to end:
@@ -495,22 +662,9 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
       }
       case ControlOp::kPing:
         return;  // liveness only; last_recv was refreshed by the read loop
-      case ControlOp::kAck: {
-        if (!c.peer.valid()) return;
-        auto& ss = send_[c.peer];
-        std::size_t trimmed = 0;
-        while (!ss.window.empty() && ss.window.front().seq <= f.ack_seq) {
-          ss.window.pop_front();
-          --unacked_frames_;
-          ++trimmed;
-        }
-        if (trimmed != 0 && cfg_.send_window_limit != 0) {
-          std::lock_guard<std::mutex> lk(window_mu_);
-          auto& pending = window_pending_[c.peer];
-          pending -= std::min(pending, trimmed);
-        }
+      case ControlOp::kAck:
+        if (c.peer.valid()) process_ack(c.peer, f.ack_seq);
         return;
-      }
     }
     return;
   }
@@ -522,6 +676,11 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
     close_conn(c.fd);
     return;
   }
+  if (f.has_ack && f.ack_seq > 0) {
+    // Piggybacked cumulative ack: trim our send window exactly as a
+    // standalone kAck would, before dedup/delivery of the frame itself.
+    process_ack(c.peer, f.ack_seq);
+  }
   auto& delivered_seq = recv_seq_[c.peer];
   if (f.seq <= delivered_seq) {
     // Retransmission of something already delivered — the peer resends its
@@ -532,8 +691,10 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
     return;
   }
   if (f.seq != delivered_seq + 1) {
-    // Gaps cannot happen with in-order windows over in-order streams;
-    // favour liveness over strictness if a peer misbehaves.
+    // Gaps cannot happen with in-order windows over in-order streams —
+    // except right after this node restarts, when the peer's window
+    // continues from its pre-restart numbering; favour liveness over
+    // strictness either way.
     HLOCK_LOG(kError, "node " << self_ << ": sequence gap from peer "
                               << c.peer << " (" << delivered_seq << " -> "
                               << f.seq << ")");
@@ -549,6 +710,7 @@ void TcpNode::close_conn(int fd) {
   if (it == conns_.end()) return;
   Connection& c = *it->second;
   const NodeId peer = c.peer;
+  cancel_ack_timer(c);
 
   // No salvage needed: everything unacked for this peer is still in its
   // send window and will be retransmitted wholesale on the next
@@ -649,6 +811,12 @@ TcpStats TcpNode::stats() const {
   s.sends_rejected = stats_.sends_rejected.load(kRelax);
   s.outbox_high_water = stats_.outbox_high_water.load(kRelax);
   s.pending_high_water = stats_.pending_high_water.load(kRelax);
+  s.batches_written = stats_.batches_written.load(kRelax);
+  for (std::size_t i = 0; i < kBatchHistBuckets; ++i)
+    s.frames_per_batch[i] = stats_.frames_per_batch[i].load(kRelax);
+  s.acks_piggybacked = stats_.acks_piggybacked.load(kRelax);
+  s.acks_standalone = stats_.acks_standalone.load(kRelax);
+  s.peer_restarts = stats_.peer_restarts.load(kRelax);
   return s;
 }
 
@@ -664,7 +832,15 @@ std::string to_string(const TcpStats& s) {
      << " idle_closes=" << s.idle_closes
      << " sends_rejected=" << s.sends_rejected
      << " outbox_hw=" << s.outbox_high_water
-     << " pending_hw=" << s.pending_high_water;
+     << " pending_hw=" << s.pending_high_water
+     << " batches_written=" << s.batches_written
+     << " fpb1=" << s.frames_per_batch[0]
+     << " fpb2_4=" << s.frames_per_batch[1]
+     << " fpb5_16=" << s.frames_per_batch[2]
+     << " fpb17p=" << s.frames_per_batch[3]
+     << " acks_piggybacked=" << s.acks_piggybacked
+     << " acks_standalone=" << s.acks_standalone
+     << " peer_restarts=" << s.peer_restarts;
   return os.str();
 }
 

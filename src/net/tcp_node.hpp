@@ -2,9 +2,10 @@
 //
 // Owns an EventLoop (run on a dedicated thread by the caller or
 // InProcessCluster), a listening socket, and one connection per peer.
-// Peers greet with a one-frame control hello carrying their NodeId, so
-// either side may dial. The Transport facade is thread-safe: send() posts
-// onto the loop thread, which owns all sockets and the engine.
+// Peers greet with a one-frame control hello carrying their NodeId and
+// boot epoch, so either side may dial and a restarted peer is detected.
+// The Transport facade is thread-safe: send() posts onto the loop thread,
+// which owns all sockets and the engine.
 //
 // Fault tolerance (all on the loop thread, no extra locking):
 //  - dial() is non-blocking; connect() completion/failure is observed via
@@ -21,9 +22,22 @@
 //    sender's untransmitted sndbuf and the receiver's unread rcvbuf —
 //    cases where "written to the kernel" is not "delivered". No accepted
 //    send() is dropped or duplicated while both processes live.
+//  - A restarted peer announces a new epoch in its hello; the receive-side
+//    dedup state for that peer is reset (peer_restarts counts it) instead
+//    of silently dropping the new incarnation's frames as duplicates.
 //  - A heartbeat timer pings idle connections and closes peers that have
 //    been silent past idle_timeout (half-open detection). The same
 //    deadline bounds a stuck non-blocking connect().
+//
+// Throughput (the batching/pipelining layer):
+//  - Queued frames for a peer are gathered into a single writev() — iovec
+//    batching up to max_batch_bytes per syscall, partial writes carried
+//    over. flush() keeps writing until the outbox drains or the kernel
+//    says EAGAIN, so a short write never costs an extra poll round trip.
+//  - Under bidirectional load, cumulative acks ride inside queued data
+//    frames (piggybacking) instead of spending a standalone kAck frame;
+//    a small timer (ack_piggyback_window) bounds how long an ack may wait
+//    for a data frame to carry it.
 #pragma once
 
 #include <cstdint>
@@ -68,7 +82,20 @@ struct TcpConfig {
   /// facade cannot retry (engines are callback-driven), so there a
   /// rejected send is dropped and counted in stats().sends_rejected.
   std::size_t send_window_limit{0};
+  /// Gather queued frames into one writev() until the batch reaches this
+  /// many bytes (or kMaxBatchFrames iovecs). 0 disables coalescing: every
+  /// writev carries exactly one frame (the measurement baseline).
+  std::size_t max_batch_bytes{256 * 1024};
+  /// Ack piggybacking: instead of answering every read burst with a
+  /// standalone kAck control frame, stamp the cumulative ack into a
+  /// queued-but-unsent data frame to the same peer, or wait up to this
+  /// long for one to be queued before falling back to a standalone ack.
+  /// 0 disables piggybacking (every ack is a standalone frame).
+  Duration ack_piggyback_window{0};
 };
+
+/// frames_per_batch histogram bucket upper bounds: 1, 2–4, 5–16, ≥17.
+inline constexpr std::size_t kBatchHistBuckets = 4;
 
 /// Monotonic transport counters (snapshot; see TcpNode::stats()).
 struct TcpStats {
@@ -88,6 +115,12 @@ struct TcpStats {
   std::uint64_t sends_rejected{0};    ///< send() refusals (window cap hit)
   std::uint64_t outbox_high_water{0}; ///< max queued-unsent bytes, one conn
   std::uint64_t pending_high_water{0};///< max unacked frames, all peers
+  std::uint64_t batches_written{0};   ///< writev() calls that made progress
+  /// Frames gathered per successful writev(): buckets 1, 2–4, 5–16, ≥17.
+  std::uint64_t frames_per_batch[kBatchHistBuckets]{};
+  std::uint64_t acks_piggybacked{0};  ///< acks carried inside data frames
+  std::uint64_t acks_standalone{0};   ///< standalone kAck frames queued
+  std::uint64_t peer_restarts{0};     ///< hello epoch changes observed
 };
 
 class TcpNode {
@@ -102,6 +135,8 @@ class TcpNode {
   [[nodiscard]] std::uint16_t listen_port() const { return listen_port_; }
   [[nodiscard]] EventLoop& loop() { return loop_; }
   [[nodiscard]] const TcpConfig& config() const { return cfg_; }
+  /// This process's boot epoch (nonzero, announced in the hello frame).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   /// Provide the address book. Only peers with id < self() are dialed
   /// (the higher id accepts), which yields exactly one connection per
@@ -164,13 +199,15 @@ class TcpNode {
   void close_peer_connection(NodeId peer);
 
  private:
-  /// One frame sitting in a connection outbox. `off`/`len` index into
-  /// Connection::outbox (flush() pops entries as their last byte reaches
-  /// the kernel; control frames are excluded from frames_out accounting
-  /// choices only via this flag).
+  /// Cap on iovecs per writev() — comfortably below any IOV_MAX.
+  static constexpr int kMaxBatchFrames = 64;
+
+  /// One frame in a connection outbox. Owns its bytes (a copy of the
+  /// window entry, or a moved control frame), so a cumulative ack that
+  /// trims the send window mid-flush can never free memory the iovec
+  /// batch still points at.
   struct OutFrame {
-    std::size_t off{0};
-    std::uint32_t len{0};
+    std::vector<std::uint8_t> bytes;
     bool control{false};
   };
 
@@ -181,12 +218,14 @@ class TcpNode {
     bool greeted{false};     ///< peer's hello received on this connection
     bool ack_due{false};     ///< delivered new frames; cumulative ack owed
     FrameDecoder decoder;
-    /// Pending output, contiguous so each readiness event needs exactly
-    /// one write: bytes [outbox_pos, outbox.size()) are still unsent.
-    std::vector<std::uint8_t> outbox;
-    std::size_t outbox_pos{0};
-    /// Frames not yet fully written, oldest first.
+    /// Pending output, oldest first; bytes [front_pos, front.size()) of
+    /// the first frame are still unsent, later frames entirely so.
     std::deque<OutFrame> frames;
+    std::size_t front_pos{0};
+    std::size_t outbox_bytes{0};  ///< total unsent bytes across frames
+    bool flush_scheduled{false};  ///< a coalescing flush is queued
+    bool ack_timer_pending{false};  ///< piggyback fallback timer armed
+    std::uint64_t ack_timer_id{0};
     TimePoint last_recv{0};  ///< loop().now() of last inbound byte
     TimePoint last_send{0};  ///< loop().now() of last outbound byte
   };
@@ -225,14 +264,21 @@ class TcpNode {
   void established(Connection& c, bool outbound);
   void register_peer(NodeId peer, int fd);
   void resend_window(Connection& c);
-  void queue_frame(Connection& c, const std::vector<std::uint8_t>& bytes,
+  void queue_frame(Connection& c, std::vector<std::uint8_t> bytes,
                    bool control = false);
+  void request_flush(Connection& c);
   void handle_frame(Connection& c, const DecodedFrame& f);
+  void process_ack(NodeId peer, std::uint64_t ack_seq);
+  void queue_standalone_ack(Connection& c);
+  bool try_stamp_queued_ack(Connection& c);
+  void arm_ack_timer(Connection& c);
+  void cancel_ack_timer(Connection& c);
   void arm_heartbeat();
   void on_heartbeat();
 
   const NodeId self_;
   const TcpConfig cfg_;
+  const std::uint64_t epoch_;
   EventLoop loop_;
   NodeTransport transport_;
   int listen_fd_{-1};
@@ -246,8 +292,11 @@ class TcpNode {
   /// simulator's ReliableTransport offers.
   std::map<NodeId, SendState> send_;
   /// Highest sequence number delivered per peer (receive-side dedup;
-  /// survives connection churn by construction).
+  /// survives connection churn by construction, reset when the peer's
+  /// hello announces a new epoch).
   std::map<NodeId, std::uint64_t> recv_seq_;
+  /// Last boot epoch each peer announced (0 = legacy peer, unknown).
+  std::map<NodeId, std::uint64_t> peer_epoch_;
   /// Total frames across send_ windows (loop thread writes, any thread
   /// reads via unacked()).
   std::atomic<std::size_t> unacked_frames_{0};
@@ -282,11 +331,16 @@ class TcpNode {
     std::atomic<std::uint64_t> sends_rejected{0};
     std::atomic<std::uint64_t> outbox_high_water{0};
     std::atomic<std::uint64_t> pending_high_water{0};
+    std::atomic<std::uint64_t> batches_written{0};
+    std::atomic<std::uint64_t> frames_per_batch[kBatchHistBuckets]{};
+    std::atomic<std::uint64_t> acks_piggybacked{0};
+    std::atomic<std::uint64_t> acks_standalone{0};
+    std::atomic<std::uint64_t> peer_restarts{0};
   } stats_;
 };
 
 /// One stats line, e.g. for process-exit reporting:
-/// `dials=3 connect_failures=1 ... pending_hw=2`.
+/// `dials=3 connect_failures=1 ... peer_restarts=0`.
 std::string to_string(const TcpStats& s);
 
 }  // namespace hlock::net

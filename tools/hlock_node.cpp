@@ -93,6 +93,12 @@ Options parse_args(int argc, char** argv) {
       opt.tcp.heartbeat_interval = msec(parse_u32(arg, next()));
     } else if (arg == "--idle-timeout-ms") {
       opt.tcp.idle_timeout = msec(parse_u32(arg, next()));
+    } else if (arg == "--max-batch-bytes") {
+      // Frame-coalescing cap per writev batch; 0 = one frame per syscall.
+      opt.tcp.max_batch_bytes = parse_u32(arg, next());
+    } else if (arg == "--piggyback-ms") {
+      // Ack piggyback window; 0 (default) = standalone acks only.
+      opt.tcp.ack_piggyback_window = msec(parse_u32(arg, next()));
     } else if (arg == "--send-window") {
       // Per-peer cap on unacked sends; 0 (default) = unbounded. Protocol
       // messages past the cap are dropped (sends_rejected), so only use
