@@ -101,6 +101,23 @@ CliOptions parse_cli(int argc, char** argv, const char* usage,
                     usage);
       opt.zipf = *z;
       opt.zipf_set = true;
+    } else if (arg == "--clusters") {
+      opt.clusters = parse_size(arg, value(), usage);
+      if (opt.clusters == 0) usage_error("--clusters must be >= 1", usage);
+    } else if (arg == "--intra-latency-ms" || arg == "--inter-latency-ms") {
+      const std::string text = value();
+      const auto ms = try_parse_double(text);
+      if (!ms || !(*ms > 0.0))
+        usage_error(arg + " expects a number > 0, got '" + text + "'",
+                    usage);
+      (arg == "--intra-latency-ms" ? opt.intra_latency_ms
+                                   : opt.inter_latency_ms) = *ms;
+    } else if (arg == "--locality-bias") {
+      opt.locality_bias = true;
+    } else if (arg == "--fairness-cap") {
+      opt.fairness_cap = parse_u32(arg, value(), usage);
+      if (opt.fairness_cap == 0 || opt.fairness_cap > 255)
+        usage_error("--fairness-cap must be in 1..255", usage);
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--no-memo") {

@@ -19,6 +19,12 @@
 //   --shards N     simulation shards (bench/many_locks)
 //   --lock-count N total locks across the forest (bench/many_locks)
 //   --zipf T       Zipf skew of page selection, >= 0 (bench/many_locks)
+//   --clusters N   cluster count of the simulated topology, >= 1
+//                  (1 = flat; bench/topology_locality)
+//   --intra-latency-ms M   mean intra-cluster latency in ms, > 0
+//   --inter-latency-ms M   mean inter-cluster latency in ms, > 0
+//   --locality-bias        enable locality-biased token hand-off
+//   --fairness-cap N       locality bypass cap, 1..255
 //
 // Numeric values are parsed strictly: `--nodes abc` or `--seed 12x` is a
 // usage error (exit 2), never a silently mis-parsed sweep.
@@ -54,6 +60,12 @@ struct CliOptions {
   std::uint32_t lock_count = 0;  ///< 0 = binary default
   double zipf = 0.0;
   bool zipf_set = false;
+  // Topology flags (bench/topology_locality; ignored elsewhere).
+  std::size_t clusters = 0;       ///< 0 = binary default
+  double intra_latency_ms = 0.0;  ///< 0 = binary default
+  double inter_latency_ms = 0.0;  ///< 0 = binary default
+  bool locality_bias = false;
+  std::uint32_t fairness_cap = 0;  ///< 0 = engine default
 };
 
 /// Offered each flag the common parser does not recognize; return true

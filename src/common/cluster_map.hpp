@@ -1,0 +1,67 @@
+// Node -> cluster assignment for topology-aware runs.
+//
+// Real deployments are clusters of clusters: intra-rack hops are orders of
+// magnitude cheaper than inter-rack/WAN hops. A ClusterMap is the shared
+// ground truth three layers consult — the simulated network (per-pair
+// latency sampling and boundary-crossing counters), the HLS engines
+// (locality-biased token hand-off) and the harness (placement policy).
+// A null/empty map means a flat topology: everything is one cluster.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace hlock {
+
+/// How the harness assigns dense node ids 0..n-1 to clusters.
+enum class ClusterPlacement : std::uint8_t {
+  kBlock = 0,   ///< contiguous runs: nodes [0, n/c) -> cluster 0, ...
+  kStripe = 1,  ///< round-robin: node i -> cluster i % c
+};
+
+/// Dense node-id -> cluster-id table. Ids beyond the table (test-injected
+/// senders, late joiners) fall into cluster 0, so lookups never throw on
+/// the hot path.
+class ClusterMap {
+ public:
+  ClusterMap() = default;
+  explicit ClusterMap(std::vector<std::uint32_t> cluster_of_node)
+      : table_(std::move(cluster_of_node)) {}
+
+  /// Build the standard harness placement of `nodes` ids over `clusters`.
+  static ClusterMap make(std::size_t nodes, std::size_t clusters,
+                         ClusterPlacement placement) {
+    if (clusters == 0) throw std::invalid_argument("need >= 1 cluster");
+    std::vector<std::uint32_t> table(nodes);
+    // Block placement: ceil(nodes / clusters) per cluster, so e.g. 4x8
+    // stays 4 racks of 8 and a ragged tail shrinks the last cluster.
+    const std::size_t per =
+        clusters >= nodes ? 1 : (nodes + clusters - 1) / clusters;
+    for (std::size_t i = 0; i < nodes; ++i) {
+      table[i] = static_cast<std::uint32_t>(
+          placement == ClusterPlacement::kStripe ? i % clusters : i / per);
+    }
+    return ClusterMap(std::move(table));
+  }
+
+  [[nodiscard]] std::uint32_t cluster_of(NodeId n) const {
+    return n.valid() && n.value < table_.size() ? table_[n.value] : 0;
+  }
+  [[nodiscard]] bool same_cluster(NodeId a, NodeId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+  [[nodiscard]] std::size_t node_count() const { return table_.size(); }
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    std::uint32_t max = 0;
+    for (const std::uint32_t c : table_) max = c > max ? c : max;
+    return table_.empty() ? 1 : max + 1;
+  }
+
+ private:
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace hlock

@@ -424,6 +424,8 @@ void HlsEngine::leave(NodeId successor_if_root) {
     h.queue = transport_.acquire_queue_buffer();
     h.queue.assign(queue_.begin(), queue_.end());
     queue_.clear();
+    h.grant_seq = locality_streak_;  // see transfer_token
+    locality_streak_ = 0;
     has_token_ = false;
     send(successor, std::move(h));
   } else {
@@ -583,6 +585,8 @@ void HlsEngine::handle_handoff(const Message& m) {
   // leaver's queue) stay in and get served by check_queue_token.
   has_token_ = true;
   parent_ = NodeId::invalid();
+  locality_streak_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(m.grant_seq, 0xffffffffULL));
 
   std::deque<QueuedRequest> merged;
   merged.insert(merged.end(), m.queue.begin(), m.queue.end());
@@ -752,6 +756,12 @@ void HlsEngine::transfer_token(const QueuedRequest& q) {
   t.queue = transport_.acquire_queue_buffer();
   t.queue.assign(queue_.begin(), queue_.end());
   queue_.clear();
+  // The head-bypass streak travels with the token (grant_seq is unused by
+  // kToken otherwise), so the locality fairness cap binds globally across
+  // same-cluster hand-offs. Always 0 when the bias is off — bitwise
+  // identical to the pre-locality wire traffic.
+  t.grant_seq = locality_streak_;
+  locality_streak_ = 0;
 
   has_token_ = false;
   parent_ = q.requester;
@@ -793,6 +803,8 @@ void HlsEngine::handle_token(const Message& m) {
   detach_from_old_parent(m.from);
   has_token_ = true;
   parent_ = NodeId::invalid();
+  locality_streak_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(m.grant_seq, 0xffffffffULL));
   if (m.sender_owned != kNone) {
     set_child(m.from, m.sender_owned);
   }
@@ -914,13 +926,64 @@ void HlsEngine::check_queue() {
   }
 }
 
+bool HlsEngine::token_can_serve_now(const QueuedRequest& q) const {
+  if (q.upgrade) return false;  // Rule 7 entries are served head-first only
+  const Mode mo = owned_mode();
+  if (q.requester == self_) {
+    // Mirrors the head self-entry branch: a live non-upgrade pending,
+    // admissible under Rule 3.2.
+    return pending_ && !pending_->upgrade && compatible(mo, q.mode);
+  }
+  return tokenable(mo, q.mode) || token_copy_grantable(mo, q.mode);
+}
+
+std::size_t HlsEngine::pick_queue_index() const {
+  if (!opts_.locality_bias || clusters_ == nullptr) return 0;
+  if (locality_streak_ >= opts_.locality_fairness_cap) return 0;
+  // Upgrades cluster at the queue front and are never reordered across;
+  // past a non-upgrade head the queue holds no upgrade entries.
+  if (queue_.front().upgrade) return 0;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    const QueuedRequest& q = queue_[i];
+    if (!clusters_->same_cluster(q.requester, self_)) continue;
+    if (token_can_serve_now(q)) return i;
+  }
+  return 0;
+}
+
 void HlsEngine::check_queue_token() {
   if (!recovery_waiting_.empty()) return;  // recovery barrier open
   // Figure 4 "Check requests on queue": serve strictly head-first and stop
   // at the first request that cannot be served. Frozen modes are NOT
   // considered here — freezing protects queued requests from *newer*
   // arrivals, and the head is the oldest waiter (§4, Fig. 7 discussion).
+  //
+  // With EngineOptions::locality_bias a servable same-cluster entry may
+  // be served ahead of the (remote or currently blocked) head while the
+  // bypass streak is under the fairness cap; every strict head service
+  // resets the streak, and the streak rides the token (transfer_token),
+  // so a bypassed head waits at most `locality_fairness_cap` out-of-order
+  // services in total, no matter how often the token moves inside the
+  // cluster. Biased picks skip the frozen check exactly like head service
+  // does: everything in the queue predates any freeze it caused.
   while (has_token_ && !queue_.empty()) {
+    const std::size_t pick = pick_queue_index();
+    if (pick != 0) {
+      const QueuedRequest q = queue_[pick];
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++locality_streak_;
+      if (q.requester == self_) {
+        resolve_pending_with_grant(q.mode);
+        continue;
+      }
+      if (tokenable(owned_mode(), q.mode)) {
+        transfer_token(q);  // same-cluster hand-off; streak ships along
+        return;             // no longer the token node
+      }
+      grant_copy(q);
+      continue;
+    }
+
     const QueuedRequest q = queue_.front();
     const Mode mo = owned_mode();
 
@@ -932,6 +995,7 @@ void HlsEngine::check_queue_token() {
         }
         if (owned_mode_excluding_hold(pending_->id) != kNone) break;
         queue_.pop_front();
+        locality_streak_ = 0;
         resolve_pending_with_grant(Mode::kW);
         continue;
       }
@@ -941,6 +1005,7 @@ void HlsEngine::check_queue_token() {
       }
       if (!compatible(mo, q.mode)) break;
       queue_.pop_front();
+      locality_streak_ = 0;
       resolve_pending_with_grant(q.mode);
       continue;
     }
@@ -948,16 +1013,19 @@ void HlsEngine::check_queue_token() {
     if (q.upgrade) {
       if (owned_mode_excluding_child(q.requester) != kNone) break;
       queue_.pop_front();
+      locality_streak_ = 0;
       transfer_token(q);
       return;  // no longer the token node
     }
     if (tokenable(mo, q.mode)) {
       queue_.pop_front();
+      locality_streak_ = 0;
       transfer_token(q);
       return;  // no longer the token node
     }
     if (token_copy_grantable(mo, q.mode)) {
       queue_.pop_front();
+      locality_streak_ = 0;
       grant_copy(q);
       continue;
     }

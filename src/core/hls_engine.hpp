@@ -35,6 +35,7 @@
 #include <set>
 #include <vector>
 
+#include "common/cluster_map.hpp"
 #include "common/flat_map.hpp"
 #include "common/lamport.hpp"
 #include "common/logging.hpp"
@@ -64,6 +65,22 @@ struct EngineOptions {
   /// priority (higher first, FIFO within a level) instead of pure FIFO.
   /// Upgrades retain their Rule 7 precedence regardless.
   bool enable_priorities = false;
+
+  /// Extension (topology-aware locking, after Chabbi et al.'s hierarchical
+  /// MCS locks): the token node may serve queued same-cluster requests
+  /// ahead of an older cross-cluster head, batching token hand-offs and
+  /// copy grants inside a cluster before the token crosses the expensive
+  /// boundary. Inert without a ClusterMap (set_cluster_map) — flat
+  /// topologies behave exactly like the paper's protocol. Upgrades keep
+  /// strict Rule 7 precedence; safety rules are unchanged (only the order
+  /// among servable queued requests moves).
+  bool locality_bias = false;
+  /// Fairness cap on the bias: how many queued requests may be served past
+  /// a bypassed queue head before service reverts to strict FIFO. The
+  /// bypass streak travels with the token (Message::grant_seq on kToken /
+  /// kHandoff), so the bound holds globally across same-cluster hand-offs:
+  /// a remote head waits at most this many out-of-order services, ever.
+  std::uint8_t locality_fairness_cap = 4;
 
   /// Field-wise equality (sweep-runner memo cache key).
   bool operator==(const EngineOptions&) const = default;
@@ -163,6 +180,16 @@ class HlsEngine {
                       const std::set<NodeId>& survivors);
 
   [[nodiscard]] std::uint32_t view() const { return view_; }
+
+  /// Topology for EngineOptions::locality_bias (borrowed; must outlive the
+  /// engine and be identical on every node). Without one the bias is
+  /// inert. Install before any traffic flows.
+  void set_cluster_map(const ClusterMap* map) { clusters_ = map; }
+  /// Current head-bypass streak (tests): services performed past an older
+  /// queued request since the last strict-FIFO head service.
+  [[nodiscard]] std::uint32_t locality_streak() const {
+    return locality_streak_;
+  }
 
   // ---- protocol entry point --------------------------------------------
 
@@ -264,6 +291,14 @@ class HlsEngine {
   void enqueue(const QueuedRequest& q);
   void grant_copy(const QueuedRequest& q);
   void transfer_token(const QueuedRequest& q);
+  /// Locality bias: true when the token could serve queue entry `q` right
+  /// now (mirrors the head-first service cases; upgrades excluded — they
+  /// are always served strictly head-first).
+  [[nodiscard]] bool token_can_serve_now(const QueuedRequest& q) const;
+  /// Index of the queue entry the token serves next: 0 (strict FIFO)
+  /// unless locality bias is active, under its fairness cap, and a
+  /// same-cluster entry is servable earlier than the head allows.
+  [[nodiscard]] std::size_t pick_queue_index() const;
   bool try_serve_upgrade_as_token(const QueuedRequest& q);
   /// Serve the queue head-first while possible (token pseudocode loop).
   void check_queue_token();
@@ -338,6 +373,13 @@ class HlsEngine {
   /// Barrier (root only): survivors whose recovery attach is still due.
   /// Queue service is deferred while non-empty.
   FlatSet<NodeId> recovery_waiting_;
+
+  /// Topology for locality_bias; null = flat (bias inert).
+  const ClusterMap* clusters_{nullptr};
+  /// Consecutive out-of-FIFO-order services since the queue head was last
+  /// served (ships with the token so the fairness cap binds globally).
+  /// Always 0 while the bias is off — nothing changes on the wire.
+  std::uint32_t locality_streak_{0};
 
   LamportClock lamport_;
   std::uint64_t next_request_{1};

@@ -19,6 +19,7 @@ HlsEngine& HlsNode::add_lock(LockId lock, NodeId initial_holder,
   auto engine =
       std::make_unique<HlsEngine>(lock, self_, initial_holder, transport_,
                                   opts_, std::move(cbs), initial_parent);
+  engine->set_cluster_map(cluster_map_);
   auto [it, inserted] = engines_.emplace(lock, std::move(engine));
   if (!inserted) throw std::logic_error("lock added twice");
   if (lock.value < kDenseLockLimit) {
@@ -42,6 +43,11 @@ const HlsEngine* HlsNode::find(LockId lock) const {
     return dense_[lock.value];
   const auto it = engines_.find(lock);
   return it == engines_.end() ? nullptr : it->second.get();
+}
+
+void HlsNode::set_cluster_map(const ClusterMap* map) {
+  cluster_map_ = map;
+  for (auto& [lock, eng] : engines_) eng->set_cluster_map(map);
 }
 
 void HlsNode::handle(const Message& m) { engine(m.lock).handle(m); }

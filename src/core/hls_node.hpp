@@ -49,6 +49,12 @@ class HlsNode {
     if (ids > dense_.size()) dense_.resize(ids, nullptr);
   }
 
+  /// Install the cluster topology for locality-biased token service
+  /// (borrowed; must outlive the node). Applies to every existing engine
+  /// and to engines added or lazily materialized later. Without a map the
+  /// locality_bias option is inert.
+  void set_cluster_map(const ClusterMap* map);
+
   /// Route one incoming message to its lock's engine.
   void handle(const Message& m);
 
@@ -65,6 +71,7 @@ class HlsNode {
   AcquiredFn on_acquired_;
   UpgradedFn on_upgraded_;
   std::function<NodeId(LockId)> lazy_holder_;
+  const ClusterMap* cluster_map_{nullptr};
   FlatMap<LockId, std::unique_ptr<HlsEngine>> engines_;
   /// O(1) lookup cache for small lock ids (the common, dense case): the
   /// engine() lookup is on the per-message hot path. Ids past the cap

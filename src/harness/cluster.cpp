@@ -18,19 +18,41 @@ std::unique_ptr<sim::LatencyModel> make_latency(LatencyKind kind,
   }
   throw std::logic_error("bad latency kind");
 }
+
+std::unique_ptr<ClusterMap> make_cluster_map(const ClusterConfig& c) {
+  if (c.clusters <= 1) return nullptr;  // flat topology
+  return std::make_unique<ClusterMap>(
+      ClusterMap::make(c.nodes, c.clusters, c.placement));
+}
+
+/// Flat configs keep the exact pre-topology model (identical RNG stream,
+/// byte-identical outputs); clustered configs wrap two of them — same
+/// distribution shape, intra vs inter mean — in a ClusteredLatency.
+std::unique_ptr<sim::LatencyModel> make_net_latency(const ClusterConfig& c,
+                                                    const ClusterMap* map) {
+  if (map == nullptr)
+    return make_latency(c.latency, c.spec.net_latency_mean);
+  return std::make_unique<sim::ClusteredLatency>(
+      map, make_latency(c.latency, c.intra_latency_mean),
+      make_latency(c.latency, c.inter_latency_mean));
+}
 }  // namespace
 
 ClusterBase::ClusterBase(const ClusterConfig& config)
     : config_(config),
+      cluster_map_(make_cluster_map(config)),
       net_(std::make_unique<sim::SimNetwork>(
-          sim_, make_latency(config.latency, config.spec.net_latency_mean),
+          sim_, make_net_latency(config, cluster_map_.get()),
           Rng(config.spec.seed ^ 0x6e65745f726e67ULL))),
       exec_(sim_),
       layout_(static_cast<std::uint32_t>(config.nodes) *
               config.spec.entries_per_node) {
   if (config.nodes == 0) throw std::invalid_argument("need >= 1 node");
   config.spec.validate();
+  if (config.intra_latency_mean <= 0 || config.inter_latency_mean <= 0)
+    throw std::invalid_argument("cluster latency means must be positive");
 
+  net_->set_topology(cluster_map_.get());
   if (config.loss_rate > 0.0) net_->set_lossy(config.loss_rate);
 
   Rng master(config.spec.seed);
@@ -95,9 +117,13 @@ void ClusterBase::run_one_op(std::size_t i) {
     ++completed_;
     --remaining_[i];
     lock_requests_ += stats.lock_requests;
-    const double factor =
-        static_cast<double>(stats.acquire_latency) /
-        static_cast<double>(config_.spec.net_latency_mean);
+    // Clustered runs normalize by the expensive boundary hop — the latency
+    // factor then reads "how many inter-cluster round trips did this op
+    // cost". Flat runs keep the historical normalizer (identical output).
+    const Duration norm = config_.clusters > 1 ? config_.inter_latency_mean
+                                               : config_.spec.net_latency_mean;
+    const double factor = static_cast<double>(stats.acquire_latency) /
+                          static_cast<double>(norm);
     latency_factor_.add(factor);
     latency_by_kind_[lockmgr::to_string(stats.op.kind)].add(factor);
     if (on_op_done) on_op_done(NodeId{static_cast<std::uint32_t>(i)}, stats);
@@ -113,6 +139,10 @@ ExperimentResult ClusterBase::result() const {
   r.messages = net_->messages_sent();
   r.wire_bytes = net_->bytes_sent();
   r.messages_dropped = net_->messages_dropped();
+  r.intra_cluster_messages = net_->intra_cluster_messages();
+  r.cross_cluster_messages = net_->cross_cluster_messages();
+  r.intra_cluster_bytes = net_->intra_cluster_bytes();
+  r.cross_cluster_bytes = net_->cross_cluster_bytes();
   r.messages_by_kind = net_->message_counts();
   r.latency_factor = latency_factor_;
   r.latency_by_kind = latency_by_kind_;
@@ -135,6 +165,7 @@ HlsCluster::HlsCluster(const ClusterConfig& config)
     const NodeId id{static_cast<std::uint32_t>(i)};
     auto node = std::make_unique<core::HlsNode>(id, transport_for(i),
                                                 config.engine_opts);
+    node->set_cluster_map(cluster_map_.get());
     // Table lock rooted at node 0; each entry lock at its home node, the
     // airline that owns the row.
     node->add_lock(layout_.table_lock(), NodeId{0});

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cluster_map.hpp"
 #include "common/rng.hpp"
 #include "core/hls_node.hpp"
 #include "harness/metrics.hpp"
@@ -41,6 +42,18 @@ struct ClusterConfig {
   /// output-invariant by construction, but the key must cover every
   /// config field so a future violation cannot silently alias entries.
   std::size_t shards{1};
+
+  /// Cluster topology. clusters > 1 switches the network to the
+  /// ClusteredLatency model (intra_latency_mean inside a cluster,
+  /// inter_latency_mean across the boundary, same LatencyKind shape for
+  /// both), turns on intra/cross boundary accounting, and hands the
+  /// ClusterMap to every HLS node so engine_opts.locality_bias can act.
+  /// clusters == 1 is the flat topology and is bit-for-bit identical to
+  /// the pre-topology harness (same latency model, same RNG stream).
+  std::size_t clusters{1};
+  ClusterPlacement placement = ClusterPlacement::kBlock;
+  Duration intra_latency_mean = usec(50);
+  Duration inter_latency_mean = msec(50);
 
   /// Field-wise equality (sweep-runner memo cache key).
   bool operator==(const ClusterConfig&) const = default;
@@ -76,6 +89,9 @@ class ClusterBase {
 
   ClusterConfig config_;
   sim::Simulator sim_;
+  /// Topology ground truth (null when config.clusters <= 1). Declared
+  /// before net_: the network's latency model borrows it.
+  std::unique_ptr<ClusterMap> cluster_map_;
   std::unique_ptr<sim::SimNetwork> net_;
   SimExecutor exec_;
   lockmgr::ResourceLayout layout_;

@@ -47,8 +47,19 @@ std::string to_json(const ExperimentResult& r) {
      << ",\"lock_requests\":" << r.lock_requests
      << ",\"messages\":" << r.messages
      << ",\"wire_bytes\":" << r.wire_bytes
-     << ",\"messages_dropped\":" << r.messages_dropped
-     << ",\"msgs_per_lock_request\":" << json_double(r.msgs_per_lock_request())
+     << ",\"messages_dropped\":" << r.messages_dropped;
+  // Topology split: present only for clustered runs (flat runs never
+  // accumulate these, and omitting them keeps flat output byte-identical
+  // to the pre-topology emitter).
+  if (r.intra_cluster_messages != 0 || r.cross_cluster_messages != 0) {
+    os << ",\"intra_cluster_messages\":" << r.intra_cluster_messages
+       << ",\"cross_cluster_messages\":" << r.cross_cluster_messages
+       << ",\"intra_cluster_bytes\":" << r.intra_cluster_bytes
+       << ",\"cross_cluster_bytes\":" << r.cross_cluster_bytes
+       << ",\"cross_cluster_fraction\":"
+       << json_double(r.cross_cluster_fraction());
+  }
+  os << ",\"msgs_per_lock_request\":" << json_double(r.msgs_per_lock_request())
      << ",\"msgs_per_op\":" << json_double(r.msgs_per_op())
      << ",\"virtual_end_us\":" << r.virtual_end;
   os << ",\"messages_by_kind\":";

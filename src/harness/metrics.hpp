@@ -17,6 +17,13 @@ struct ExperimentResult {
   std::uint64_t messages{0};        ///< total protocol messages sent
   std::uint64_t wire_bytes{0};      ///< serialized bytes incl. framing
   std::uint64_t messages_dropped{0};  ///< network drops (lossy runs only)
+  /// Topology split of `messages`/`wire_bytes`. Only clustered runs
+  /// accumulate these; a flat run (no ClusterMap) leaves all four zero
+  /// and the JSON emitters then omit the split entirely.
+  std::uint64_t intra_cluster_messages{0};
+  std::uint64_t cross_cluster_messages{0};
+  std::uint64_t intra_cluster_bytes{0};
+  std::uint64_t cross_cluster_bytes{0};
   CounterMap messages_by_kind;      ///< the Figure 7 breakdown
   /// Per-op acquisition latency divided by the mean point-to-point
   /// latency — the paper's Figure 6 "latency factor".
@@ -37,6 +44,13 @@ struct ExperimentResult {
     return app_ops == 0 ? 0.0
                         : static_cast<double>(messages) /
                               static_cast<double>(app_ops);
+  }
+  /// Fraction of protocol messages that crossed a cluster boundary — the
+  /// quantity locality-biased hand-off exists to shrink.
+  [[nodiscard]] double cross_cluster_fraction() const {
+    return messages == 0 ? 0.0
+                         : static_cast<double>(cross_cluster_messages) /
+                               static_cast<double>(messages);
   }
   /// Per-kind messages per lock request (Figure 7 y-axis).
   [[nodiscard]] double kind_per_request(const char* kind) const {

@@ -81,11 +81,11 @@ std::optional<Summary> summary_from_json(const JsonValue& v) {
 // fire when a field is added to one of the structs without this file
 // being updated (sizes are stable across gcc/clang on the x86-64 Itanium
 // ABI this project targets).
-static_assert(sizeof(core::EngineOptions) == 5,
+static_assert(sizeof(core::EngineOptions) == 7,
               "EngineOptions changed — update canonical_point_key()");
 static_assert(sizeof(workload::WorkloadSpec) == 104,
               "WorkloadSpec changed — update canonical_point_key()");
-static_assert(sizeof(ClusterConfig) == 144,
+static_assert(sizeof(ClusterConfig) == 176,
               "ClusterConfig changed — update canonical_point_key()");
 
 std::string canonical_point_key(const SweepPoint& p) {
@@ -108,7 +108,11 @@ std::string canonical_point_key(const SweepPoint& p) {
      << "|lq=" << e.allow_local_queues << "|fz=" << e.enable_freezing
      << "|lr=" << e.lazy_release << "|pr=" << e.enable_priorities
      << "|shards=" << c.shards << "|lc=" << s.lock_count
-     << "|zipf=" << json_double(s.zipf_theta);
+     << "|zipf=" << json_double(s.zipf_theta) << "|lb=" << e.locality_bias
+     << "|fc=" << static_cast<unsigned>(e.locality_fairness_cap)
+     << "|cl=" << c.clusters << "|pl=" << static_cast<int>(c.placement)
+     << "|intra=" << c.intra_latency_mean
+     << "|inter=" << c.inter_latency_mean;
   return os.str();
 }
 
@@ -118,6 +122,10 @@ std::string result_to_cache_json(const ExperimentResult& r) {
      << ",\"lock_requests\":" << r.lock_requests
      << ",\"messages\":" << r.messages << ",\"wire_bytes\":" << r.wire_bytes
      << ",\"messages_dropped\":" << r.messages_dropped
+     << ",\"intra_cluster_messages\":" << r.intra_cluster_messages
+     << ",\"cross_cluster_messages\":" << r.cross_cluster_messages
+     << ",\"intra_cluster_bytes\":" << r.intra_cluster_bytes
+     << ",\"cross_cluster_bytes\":" << r.cross_cluster_bytes
      << ",\"virtual_end\":" << r.virtual_end << ",\"messages_by_kind\":{";
   bool first = true;
   for (const auto& [kind, count] : r.messages_by_kind.all()) {
@@ -164,6 +172,14 @@ std::optional<ExperimentResult> result_from_json(const JsonValue& doc) {
   if (!u64_field("messages", r.messages)) return std::nullopt;
   if (!u64_field("wire_bytes", r.wire_bytes)) return std::nullopt;
   if (!u64_field("messages_dropped", r.messages_dropped)) return std::nullopt;
+  if (!u64_field("intra_cluster_messages", r.intra_cluster_messages))
+    return std::nullopt;
+  if (!u64_field("cross_cluster_messages", r.cross_cluster_messages))
+    return std::nullopt;
+  if (!u64_field("intra_cluster_bytes", r.intra_cluster_bytes))
+    return std::nullopt;
+  if (!u64_field("cross_cluster_bytes", r.cross_cluster_bytes))
+    return std::nullopt;
 
   const JsonValue* vend = doc.find("virtual_end");
   if (!vend) return std::nullopt;

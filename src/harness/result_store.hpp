@@ -64,7 +64,9 @@ std::optional<ExperimentResult> result_from_cache_json(const std::string& json);
 
 class ResultStore {
  public:
-  static constexpr int kFormatVersion = 1;
+  /// v2: topology counters (intra/cross cluster messages and bytes) became
+  /// required fields of the cached result record.
+  static constexpr int kFormatVersion = 2;
 
   /// Opens (creating lazily) the cache under `dir`. `build` defaults to
   /// the compiled-in build_hash(); tests and tools may pin their own.

@@ -41,7 +41,13 @@ std::size_t SweepRunner::PointHash::operator()(const SweepPoint& p) const {
                   (static_cast<std::size_t>(e.allow_local_queues) << 1) |
                   (static_cast<std::size_t>(e.enable_freezing) << 2) |
                   (static_cast<std::size_t>(e.lazy_release) << 3) |
-                  (static_cast<std::size_t>(e.enable_priorities) << 4));
+                  (static_cast<std::size_t>(e.enable_priorities) << 4) |
+                  (static_cast<std::size_t>(e.locality_bias) << 5) |
+                  (static_cast<std::size_t>(e.locality_fairness_cap) << 6));
+  hash_mix(h, p.config.clusters);
+  hash_mix(h, static_cast<std::size_t>(p.config.placement));
+  hash_mix(h, static_cast<std::size_t>(p.config.intra_latency_mean));
+  hash_mix(h, static_cast<std::size_t>(p.config.inter_latency_mean));
   return h;
 }
 

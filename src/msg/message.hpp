@@ -103,7 +103,11 @@ struct Message {
   /// adopts it). kRelease: the child's count of grants received from this
   /// parent — the parent drops the release as stale if it has sent more
   /// grants than the child had seen, which is exactly the
-  /// release-crosses-grant race.
+  /// release-crosses-grant race. kToken/kHandoff (which never used this
+  /// field) reuse it to carry the locality-bias bypass streak so the
+  /// fairness cap (EngineOptions::locality_fairness_cap) bounds out-of-
+  /// order services globally, across token transfers, with no wire-format
+  /// change; it stays 0 when the bias is off.
   std::uint64_t grant_seq{0};
 
   friend bool operator==(const Message&, const Message&) = default;

@@ -55,7 +55,13 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
   const auto kind_idx = static_cast<std::size_t>(m.kind);
   if (kind_idx < kMsgKindCount) ++counts_[kind_idx];
   ++sent_;
-  bytes_ += encoded_size(m) + 4;  // payload + the TCP framing prefix
+  const std::uint64_t wire = encoded_size(m) + 4;  // + TCP framing prefix
+  bytes_ += wire;
+  if (topology_ != nullptr) {
+    const std::size_t crossing = topology_->same_cluster(from, to) ? 0 : 1;
+    ++boundary_counts_[crossing];
+    boundary_bytes_[crossing] += wire;
+  }
 
   const bool dropped =
       loss_rate_ > 0.0 && rng_.next_double() < loss_rate_;
@@ -65,7 +71,7 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
     return;
   }
 
-  TimePoint arrive = sim_.now() + latency_->sample(rng_);
+  TimePoint arrive = sim_.now() + latency_->sample_pair(from, to, rng_);
   if (fifo_channels_) {
     // Per-channel FIFO: a message may not overtake an earlier one on the
     // same (from, to) pair. Senders need not be registered receivers

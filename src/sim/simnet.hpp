@@ -68,6 +68,26 @@ class SimNetwork {
   [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_; }
   [[nodiscard]] Duration latency_mean() const { return latency_->mean(); }
 
+  /// Clustered-topology accounting: every send is classified as intra- or
+  /// cross-cluster by `map` (borrowed; must outlive the network) and
+  /// counted into the O(1) boundary counters below — the same fixed-array
+  /// style as the per-kind counters. Without a map the counters stay zero
+  /// (flat runs carry no topology split, keeping their output unchanged).
+  void set_topology(const ClusterMap* map) { topology_ = map; }
+  [[nodiscard]] const ClusterMap* topology() const { return topology_; }
+  [[nodiscard]] std::uint64_t intra_cluster_messages() const {
+    return boundary_counts_[0];
+  }
+  [[nodiscard]] std::uint64_t cross_cluster_messages() const {
+    return boundary_counts_[1];
+  }
+  [[nodiscard]] std::uint64_t intra_cluster_bytes() const {
+    return boundary_bytes_[0];
+  }
+  [[nodiscard]] std::uint64_t cross_cluster_bytes() const {
+    return boundary_bytes_[1];
+  }
+
   /// Observation hook invoked on every delivery (before the handler).
   std::function<void(NodeId from, NodeId to, const Message&)> on_deliver;
   /// Observation hook invoked on every send (after loss filtering the
@@ -97,6 +117,12 @@ class SimNetwork {
   bool fifo_channels_{true};
   std::uint64_t dropped_{0};
   std::uint64_t bytes_{0};
+  /// Boundary accounting, indexed [0]=intra-cluster, [1]=cross-cluster,
+  /// live only when topology_ is set (like bytes_, dropped messages are
+  /// included — they were sent).
+  const ClusterMap* topology_{nullptr};
+  std::array<std::uint64_t, 2> boundary_counts_{};
+  std::array<std::uint64_t, 2> boundary_bytes_{};
 };
 
 /// Per-node Transport facade over SimNetwork.

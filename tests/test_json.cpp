@@ -76,6 +76,30 @@ TEST(JsonWriter, ResultJsonIsValidAndExact) {
   EXPECT_EQ(factor->find("p95")->as_double(), r.latency_factor.percentile(0.95));
 }
 
+TEST(JsonWriter, TopologySplitEmittedOnlyForClusteredRuns) {
+  ExperimentResult flat;
+  flat.messages = 10;
+  // Flat run: counters all zero -> the split is omitted entirely, keeping
+  // flat output byte-identical to the pre-topology emitter.
+  const std::string flat_json = to_json(flat);
+  EXPECT_EQ(flat_json.find("cross_cluster"), std::string::npos) << flat_json;
+
+  ExperimentResult clustered;
+  clustered.messages = 10;
+  clustered.intra_cluster_messages = 7;
+  clustered.cross_cluster_messages = 3;
+  clustered.intra_cluster_bytes = 700;
+  clustered.cross_cluster_bytes = 300;
+  const std::string json = to_json(clustered);
+  const auto doc = parse_json(json);
+  ASSERT_TRUE(doc.has_value()) << json;
+  EXPECT_EQ(doc->find("intra_cluster_messages")->as_u64(), 7u);
+  EXPECT_EQ(doc->find("cross_cluster_messages")->as_u64(), 3u);
+  EXPECT_EQ(doc->find("intra_cluster_bytes")->as_u64(), 700u);
+  EXPECT_EQ(doc->find("cross_cluster_bytes")->as_u64(), 300u);
+  EXPECT_EQ(doc->find("cross_cluster_fraction")->as_double(), 0.3);
+}
+
 TEST(JsonWriter, NonFiniteSummaryStaysValidJson) {
   // A Summary restored with poisoned sums exercises the writer's null
   // mapping end to end: the document must still parse.

@@ -67,6 +67,30 @@ TEST_F(ResultStoreTest, CacheJsonRoundTripsExactly) {
             restored->latency_factor.percentile(0.95));
 }
 
+TEST_F(ResultStoreTest, ClusteredCountersRoundTripExactly) {
+  // A clustered locality-bias point fills the four topology counters; the
+  // cache record must carry them (a warm rerun re-emits the identical
+  // cross-cluster fraction).
+  SweepPoint p = make_point(Protocol::kHls, 8, small_spec());
+  p.config.clusters = 2;
+  p.config.intra_latency_mean = usec(50);
+  p.config.inter_latency_mean = msec(20);
+  p.config.engine_opts.locality_bias = true;
+  const ExperimentResult original = run_experiment(p.protocol, p.config);
+  EXPECT_GT(original.intra_cluster_messages, 0u);
+  EXPECT_GT(original.cross_cluster_messages, 0u);
+  EXPECT_EQ(original.intra_cluster_messages + original.cross_cluster_messages,
+            original.messages);
+  EXPECT_EQ(original.intra_cluster_bytes + original.cross_cluster_bytes,
+            original.wire_bytes);
+
+  const auto restored = result_from_cache_json(result_to_cache_json(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(original == *restored);
+  EXPECT_EQ(original.cross_cluster_fraction(),
+            restored->cross_cluster_fraction());
+}
+
 TEST_F(ResultStoreTest, PutThenGetAcrossInstances) {
   const SweepPoint p = make_point(Protocol::kNaimiPure, 4, small_spec());
   const ExperimentResult result = run_experiment(p.protocol, p.config);
@@ -185,7 +209,7 @@ TEST_F(ResultStoreTest, VersionMismatchInvalidatesWholeFile) {
   std::getline(in, header);
   while (std::getline(in, line)) rest += line + "\n";
   in.close();
-  const auto at = header.find("\"version\":1");
+  const auto at = header.find("\"version\":2");
   ASSERT_NE(at, std::string::npos);
   header.replace(at, 11, "\"version\":9");
   std::ofstream(file()) << header << "\n" << rest;
@@ -284,6 +308,36 @@ TEST_F(ResultStoreTest, CanonicalKeyCoversEveryField) {
   {
     SweepPoint v = base;
     v.config.spec.zipf_theta = 0.9;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.engine_opts.locality_bias = true;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.engine_opts.locality_fairness_cap = 9;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.clusters = 4;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.placement = ClusterPlacement::kStripe;
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.intra_latency_mean = usec(100);
+    variants.push_back(v);
+  }
+  {
+    SweepPoint v = base;
+    v.config.inter_latency_mean = msec(100);
     variants.push_back(v);
   }
   for (std::size_t i = 0; i < variants.size(); ++i)
