@@ -1,0 +1,547 @@
+// live_recovery — crash-recovery latency over real processes and real
+// sockets: the acceptance benchmark for protocol-level failure handling.
+//
+// The parent forks N worker PROCESSES (re-exec of this binary with
+// --worker), each a full stack: TcpNode (failure detector on) +
+// ConcurrencyService + ViewService wired to recover_all. One shared lock
+// is rooted at the victim — the highest id. Survivors hammer it with
+// closed-loop W lock/unlock rounds, recording a wall-clock timestamp per
+// committed op (granted AND released). The victim runs the same loop
+// until --hold-at-ms, then takes W and holds it; the parent waits for the
+// HOLDING marker and SIGKILLs it — a genuine token-holder crash with the
+// token pinned at the dead process and every survivor request queued
+// behind it.
+//
+// Survivors then suspect the silence, the lowest id coordinates a view,
+// the token regenerates at the new root, and the queued requests are
+// served. Each survivor writes a small key/value report; the parent
+// aggregates into BENCH_recovery.json (--json) with the two figures of
+// merit:
+//
+//   acquisition_gap_ms   last committed op before the kill -> first
+//                        committed op after it, across all survivors
+//                        (the end-to-end outage a client observes)
+//   gap_from_kill_ms     SIGKILL instant -> first committed op after it
+//                        (detector silence window + view round + barrier
+//                        + queue service)
+//   view_frames          kViewChange/kViewAck frames sent by survivors,
+//                        retries included (the coordination message cost)
+//
+// Exit is nonzero on any lost committed op (a grant without its release),
+// a survivor without a committed view, a missing post-crash grant, or an
+// undrained send window — the smoke-test contract, not just a timing.
+//
+// Timestamps are system_clock milliseconds so they compare across
+// processes; the gap is a difference of same-clock readings.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parse.hpp"
+#include "corba/concurrency.hpp"
+#include "harness/json.hpp"
+#include "net/tcp_node.hpp"
+#include "net/view_service.hpp"
+
+using namespace hlock;
+
+namespace {
+
+std::int64_t wall_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Config {
+  std::uint32_t nodes = 3;
+  std::uint32_t hold_at_ms = 600;   ///< victim grabs-and-holds after this
+  std::uint32_t run_ms = 3000;      ///< survivor workload duration
+  std::uint32_t suspect_ms = 250;   ///< failure-detector silence window
+  std::uint32_t view_retry_ms = 25;
+  bool json = false;
+};
+
+// ---------------------------------------------------------------------------
+// Worker process: one node of the mesh.
+// ---------------------------------------------------------------------------
+
+struct WorkerArgs {
+  std::uint32_t id{0};
+  std::uint16_t port{0};
+  std::map<NodeId, net::PeerAddress> peers;
+  bool victim{false};
+  std::string report;
+  Config cfg;
+};
+
+int run_worker(const WorkerArgs& a) {
+  net::TcpConfig tcp;
+  tcp.reconnect_min = msec(5);
+  tcp.reconnect_max = msec(50);
+  tcp.heartbeat_interval = msec(std::max<std::uint32_t>(
+      1, a.cfg.suspect_ms / 5));
+  tcp.idle_timeout = sec(30);  // suspicion, not idle-close, finds the dead
+  tcp.suspect_timeout = msec(a.cfg.suspect_ms);
+
+  net::TcpNode node(NodeId{a.id}, a.port, tcp);
+  node.set_peers(a.peers);
+  std::thread loop([&] { node.loop().run(); });
+
+  corba::ConcurrencyService service(node);
+  const std::uint32_t victim_id = a.cfg.nodes - 1;
+  const LockId kLock{0};
+  service.create_lock_set(kLock, NodeId{victim_id});
+
+  std::set<NodeId> members;
+  members.insert(NodeId{a.id});
+  for (const auto& [pid, addr] : a.peers) members.insert(pid);
+  net::ViewService views(node, members,
+                         net::ViewConfig{msec(a.cfg.view_retry_ms)});
+  views.set_on_view([&](std::uint32_t view, NodeId root,
+                        const std::set<NodeId>& survivors) {
+    service.recover_all(view, root, survivors);
+  });
+  views.start();
+
+  corba::LockSet set = service.lock_set(kLock);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  if (a.victim) {
+    // Participate in the workload until the hold point so the token is
+    // genuinely circulating, then pin it and die under the parent's
+    // SIGKILL while every survivor queues behind the held W.
+    while (elapsed_ms() < a.cfg.hold_at_ms) {
+      const auto h = set.try_lock_for(corba::LockMode::kWrite, sec(10));
+      if (h) set.unlock(*h);
+    }
+    (void)set.lock(corba::LockMode::kWrite);
+    std::cout << "HOLDING\n" << std::flush;
+    std::this_thread::sleep_for(std::chrono::seconds(60));  // parent kills us first
+    return 3;                              // unreachable in a healthy run
+  }
+
+  std::vector<std::int64_t> commits_ms;
+  std::uint64_t timeouts = 0;
+  while (elapsed_ms() < a.cfg.run_ms) {
+    // Generous bound: a wait that spans the crash must survive the
+    // detector window + view round + barrier, not time out under it.
+    const auto h = set.try_lock_for(corba::LockMode::kWrite, sec(20));
+    if (!h) {
+      ++timeouts;
+      continue;
+    }
+    set.unlock(*h);
+    commits_ms.push_back(wall_ms());  // committed: granted AND released
+  }
+
+  // Drain: after the view commit forgot the dead peer's send window,
+  // everything still unacked must be survivor-to-survivor and ackable.
+  bool drained = false;
+  const auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < drain_deadline) {
+    if (node.unacked() == 0) {
+      drained = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  {
+    std::ofstream out(a.report);
+    out << "id " << a.id << "\n"
+        << "ops " << commits_ms.size() << "\n"
+        << "timeouts " << timeouts << "\n"
+        << "views " << views.views_committed() << "\n"
+        << "view " << views.view() << "\n"
+        << "view_frames " << views.view_frames_sent() << "\n"
+        << "suspected " << node.stats().peers_suspected << "\n"
+        << "unacked " << node.unacked() << "\n"
+        << "drained " << (drained ? 1 : 0) << "\n";
+    for (const std::int64_t t : commits_ms) out << "commit " << t << "\n";
+  }
+
+  node.loop().stop();
+  loop.join();
+  return drained ? 0 : 4;
+}
+
+// ---------------------------------------------------------------------------
+// Parent: spawn, kill, aggregate.
+// ---------------------------------------------------------------------------
+
+struct SurvivorReport {
+  std::uint32_t id{0};
+  std::uint64_t ops{0};
+  std::uint64_t timeouts{0};
+  std::uint64_t views{0};
+  std::uint32_t view{0};
+  std::uint64_t view_frames{0};
+  std::uint64_t suspected{0};
+  std::uint64_t unacked{0};
+  bool drained{false};
+  std::vector<std::int64_t> commits_ms;
+};
+
+std::optional<SurvivorReport> read_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  SurvivorReport r;
+  std::string key;
+  std::int64_t value;
+  while (in >> key >> value) {
+    if (key == "id") r.id = static_cast<std::uint32_t>(value);
+    else if (key == "ops") r.ops = static_cast<std::uint64_t>(value);
+    else if (key == "timeouts") r.timeouts = static_cast<std::uint64_t>(value);
+    else if (key == "views") r.views = static_cast<std::uint64_t>(value);
+    else if (key == "view") r.view = static_cast<std::uint32_t>(value);
+    else if (key == "view_frames")
+      r.view_frames = static_cast<std::uint64_t>(value);
+    else if (key == "suspected")
+      r.suspected = static_cast<std::uint64_t>(value);
+    else if (key == "unacked") r.unacked = static_cast<std::uint64_t>(value);
+    else if (key == "drained") r.drained = value != 0;
+    else if (key == "commit") r.commits_ms.push_back(value);
+  }
+  return r;
+}
+
+/// Grab a kernel-assigned ephemeral port, then free it for a child to
+/// bind moments later (the standard loopback trick; the race window is
+/// negligible and a collision fails loudly at bind time).
+std::uint16_t reserve_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+struct Child {
+  pid_t pid{-1};
+  int stdout_fd{-1};
+};
+
+Child spawn_worker(const char* self_exe, const WorkerArgs& a) {
+  std::vector<std::string> args;
+  args.emplace_back(self_exe);
+  args.emplace_back("--worker");
+  args.emplace_back("--id");
+  args.emplace_back(std::to_string(a.id));
+  args.emplace_back("--port");
+  args.emplace_back(std::to_string(a.port));
+  for (const auto& [pid, addr] : a.peers) {
+    args.emplace_back("--peer-addr");
+    args.emplace_back(std::to_string(pid.value) + "=" + addr.host + ":" +
+                      std::to_string(addr.port));
+  }
+  if (a.victim) args.emplace_back("--victim");
+  args.emplace_back("--report");
+  args.emplace_back(a.report);
+  args.emplace_back("--nodes");
+  args.emplace_back(std::to_string(a.cfg.nodes));
+  args.emplace_back("--hold-at-ms");
+  args.emplace_back(std::to_string(a.cfg.hold_at_ms));
+  args.emplace_back("--run-ms");
+  args.emplace_back(std::to_string(a.cfg.run_ms));
+  args.emplace_back("--suspect-ms");
+  args.emplace_back(std::to_string(a.cfg.suspect_ms));
+  args.emplace_back("--view-retry-ms");
+  args.emplace_back(std::to_string(a.cfg.view_retry_ms));
+
+  int pipefd[2] = {-1, -1};
+  if (::pipe(pipefd) != 0) return {};
+  const pid_t pid = ::fork();
+  if (pid < 0) return {};
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& s : args) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    ::execv(self_exe, argv.data());
+    std::perror("live_recovery: execv");
+    std::_Exit(127);
+  }
+  ::close(pipefd[1]);
+  return Child{pid, pipefd[0]};
+}
+
+/// Block until the child prints a line containing `marker` (true) or
+/// closes its stdout (false).
+bool wait_for_marker(int fd, const std::string& marker) {
+  std::string buf;
+  char chunk[256];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.find(marker) != std::string::npos) return true;
+  }
+}
+
+int run_parent(const char* self_exe, const Config& cfg) {
+  std::map<NodeId, net::PeerAddress> book;
+  std::vector<std::uint16_t> ports(cfg.nodes);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    ports[i] = reserve_port();
+    if (ports[i] == 0) {
+      std::cerr << "live_recovery: could not reserve a port\n";
+      return 1;
+    }
+    book[NodeId{i}] = net::PeerAddress{"127.0.0.1", ports[i]};
+  }
+
+  const std::string prefix =
+      "live_recovery_r" + std::to_string(::getpid()) + "_";
+  const std::uint32_t victim_id = cfg.nodes - 1;
+  std::vector<Child> children(cfg.nodes);
+  std::vector<std::string> reports(cfg.nodes);
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    WorkerArgs a;
+    a.id = i;
+    a.port = ports[i];
+    a.peers = book;
+    a.peers.erase(NodeId{i});
+    a.victim = i == victim_id;
+    a.cfg = cfg;
+    reports[i] = prefix + std::to_string(i) + ".txt";
+    a.report = reports[i];
+    children[i] = spawn_worker(self_exe, a);
+    if (children[i].pid < 0) {
+      std::cerr << "live_recovery: fork failed\n";
+      return 1;
+    }
+  }
+
+  // The victim announces its terminal hold; give the survivors a beat to
+  // queue behind it, then kill — the token dies with the process.
+  if (!wait_for_marker(children[victim_id].stdout_fd, "HOLDING")) {
+    std::cerr << "live_recovery: victim never reached its hold\n";
+    for (const Child& c : children) ::kill(c.pid, SIGKILL);
+    return 1;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const std::int64_t kill_ms = wall_ms();
+  ::kill(children[victim_id].pid, SIGKILL);
+
+  bool fail = false;
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    int status = 0;
+    ::waitpid(children[i].pid, &status, 0);
+    ::close(children[i].stdout_fd);
+    if (i == victim_id) {
+      if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+        std::cerr << "live_recovery: victim did not die by SIGKILL\n";
+        fail = true;
+      }
+      continue;
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "live_recovery: survivor " << i << " exited abnormally\n";
+      fail = true;
+    }
+  }
+
+  std::vector<SurvivorReport> survivors;
+  for (std::uint32_t i = 0; i < cfg.nodes; ++i) {
+    if (i == victim_id) continue;
+    const auto r = read_report(reports[i]);
+    if (!r) {
+      std::cerr << "live_recovery: missing report for survivor " << i << "\n";
+      fail = true;
+      continue;
+    }
+    survivors.push_back(*r);
+  }
+  for (const std::string& path : reports) ::unlink(path.c_str());
+
+  // Aggregate the gap across all survivors' committed ops.
+  std::int64_t last_before = -1, first_after = -1;
+  std::uint64_t total_ops = 0, total_view_frames = 0, lost = 0;
+  bool all_viewed = true, all_drained = true;
+  for (const SurvivorReport& r : survivors) {
+    total_ops += r.ops;
+    total_view_frames += r.view_frames;
+    if (r.views == 0) all_viewed = false;
+    if (!r.drained || r.unacked != 0) all_drained = false;
+    if (r.ops != r.commits_ms.size()) ++lost;  // grant without release
+    for (const std::int64_t t : r.commits_ms) {
+      if (t <= kill_ms) last_before = std::max(last_before, t);
+      else first_after = first_after < 0 ? t : std::min(first_after, t);
+    }
+  }
+  const bool recovered = first_after >= 0;
+  const double gap_ms =
+      recovered && last_before >= 0
+          ? static_cast<double>(first_after - last_before)
+          : -1.0;
+  const double gap_from_kill_ms =
+      recovered ? static_cast<double>(first_after - kill_ms) : -1.0;
+  if (!recovered || !all_viewed || !all_drained || lost != 0) fail = true;
+
+  if (cfg.json) {
+    using harness::json_double;
+    std::ostringstream os;
+    os << "{\n  \"bench\": \"live_recovery\",\n  \"config\": {\"nodes\": "
+       << cfg.nodes << ", \"hold_at_ms\": " << cfg.hold_at_ms
+       << ", \"run_ms\": " << cfg.run_ms
+       << ", \"suspect_ms\": " << cfg.suspect_ms
+       << ", \"view_retry_ms\": " << cfg.view_retry_ms << "},\n"
+       << "  \"survivors\": [";
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+      const SurvivorReport& r = survivors[i];
+      os << (i ? ", " : "") << "{\"id\": " << r.id << ", \"ops\": " << r.ops
+         << ", \"timeouts\": " << r.timeouts << ", \"views\": " << r.views
+         << ", \"view\": " << r.view
+         << ", \"view_frames\": " << r.view_frames
+         << ", \"suspected\": " << r.suspected
+         << ", \"unacked\": " << r.unacked
+         << ", \"drained\": " << (r.drained ? "true" : "false") << "}";
+    }
+    os << "],\n"
+       << "  \"completed_ops\": " << total_ops
+       << ",\n  \"lost_committed_ops\": " << lost
+       << ",\n  \"recovered\": " << (recovered ? "true" : "false")
+       << ",\n  \"acquisition_gap_ms\": " << json_double(gap_ms)
+       << ",\n  \"gap_from_kill_ms\": " << json_double(gap_from_kill_ms)
+       << ",\n  \"view_frames\": " << total_view_frames
+       << ",\n  \"ok\": " << (fail ? "false" : "true") << "\n}\n";
+    std::cout << os.str();
+  } else {
+    std::cout << "live_recovery: nodes=" << cfg.nodes
+              << " victim=" << victim_id << " completed_ops=" << total_ops
+              << " lost=" << lost << " gap_ms=" << gap_ms
+              << " gap_from_kill_ms=" << gap_from_kill_ms
+              << " view_frames=" << total_view_frames
+              << (fail ? " FAILED" : " OK") << "\n";
+  }
+  return fail ? 1 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Argument parsing (strict, PR 4 convention).
+// ---------------------------------------------------------------------------
+
+std::uint32_t need_u32(const char* flag, const std::string& text,
+                       const char* usage) {
+  const auto v = try_parse_u32(text);
+  if (!v) {
+    std::cerr << flag << " expects an unsigned integer, got '" << text
+              << "'\n" << usage;
+    std::exit(2);
+  }
+  return *v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* usage =
+      "usage: live_recovery [--nodes N] [--hold-at-ms T] [--run-ms T]\n"
+      "                     [--suspect-ms T] [--view-retry-ms T] [--json]\n"
+      "  --nodes N         mesh size, >= 3 (default 3); the highest id is\n"
+      "                    the victim and the shared lock's initial root\n"
+      "  --hold-at-ms T    when the victim pins the token (default 600)\n"
+      "  --run-ms T        survivor workload duration (default 3000)\n"
+      "  --suspect-ms T    failure-detector window (default 250)\n"
+      "  --view-retry-ms T view round retry cadence (default 25)\n"
+      "  --json            emit the BENCH_recovery.json document\n";
+
+  Config cfg;
+  bool worker = false;
+  WorkerArgs wa;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) {
+        std::cerr << "missing value for " << arg << "\n" << usage;
+        std::exit(2);
+      }
+      return argv[i];
+    };
+    if (arg == "--worker") worker = true;
+    else if (arg == "--victim") wa.victim = true;
+    else if (arg == "--id") wa.id = need_u32("--id", next(), usage);
+    else if (arg == "--port")
+      wa.port = static_cast<std::uint16_t>(need_u32("--port", next(), usage));
+    else if (arg == "--report") wa.report = next();
+    else if (arg == "--peer-addr") {
+      const std::string spec = next();  // id=host:port
+      const auto eq = spec.find('=');
+      const auto colon = spec.find(':', eq);
+      if (eq == std::string::npos || colon == std::string::npos) {
+        std::cerr << "--peer-addr expects id=host:port\n";
+        return 2;
+      }
+      const NodeId pid{need_u32("--peer-addr", spec.substr(0, eq), usage)};
+      wa.peers[pid] = net::PeerAddress{
+          spec.substr(eq + 1, colon - eq - 1),
+          static_cast<std::uint16_t>(
+              need_u32("--peer-addr", spec.substr(colon + 1), usage))};
+    } else if (arg == "--nodes") cfg.nodes = need_u32("--nodes", next(), usage);
+    else if (arg == "--hold-at-ms")
+      cfg.hold_at_ms = need_u32("--hold-at-ms", next(), usage);
+    else if (arg == "--run-ms") cfg.run_ms = need_u32("--run-ms", next(), usage);
+    else if (arg == "--suspect-ms")
+      cfg.suspect_ms = need_u32("--suspect-ms", next(), usage);
+    else if (arg == "--view-retry-ms")
+      cfg.view_retry_ms = need_u32("--view-retry-ms", next(), usage);
+    else if (arg == "--json") cfg.json = true;
+    else {
+      std::cerr << "unknown argument: " << arg << "\n" << usage;
+      return 2;
+    }
+  }
+  if (cfg.nodes < 3) {
+    std::cerr << "live_recovery: need >= 3 nodes (2+ survivors)\n";
+    return 2;
+  }
+  if (cfg.run_ms <= cfg.hold_at_ms) {
+    std::cerr << "live_recovery: --run-ms must exceed --hold-at-ms\n";
+    return 2;
+  }
+
+  if (worker) {
+    wa.cfg = cfg;
+    return run_worker(wa);
+  }
+  return run_parent("/proc/self/exe", cfg);
+}

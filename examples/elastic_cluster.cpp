@@ -11,17 +11,41 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "corba/concurrency.hpp"
 #include "net/cluster.hpp"
 
 using namespace hlock;
 
 int main(int argc, char** argv) {
-  const std::size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
-  const int rounds = argc > 2 ? std::atoi(argv[2]) : 6;
+  // Strict parses (PR 4 convention): "5x" or "abc" is a usage error, not
+  // a silently misparsed 5 or 0.
+  std::size_t nodes = 5;
+  int rounds = 6;
+  if (argc > 1) {
+    const auto v = try_parse_size(argv[1]);
+    if (!v) {
+      std::cerr << "usage: elastic_cluster [nodes] [rounds] — nodes must be "
+                   "an unsigned integer, got '"
+                << argv[1] << "'\n";
+      return 2;
+    }
+    nodes = *v;
+  }
+  if (argc > 2) {
+    const auto v = try_parse_int(argv[2]);
+    if (!v || *v < 0) {
+      std::cerr << "usage: elastic_cluster [nodes] [rounds] — rounds must be "
+                   "a non-negative integer, got '"
+                << argv[2] << "'\n";
+      return 2;
+    }
+    rounds = *v;
+  }
   if (nodes < 2) {
     std::cerr << "need at least 2 nodes\n";
     return 2;

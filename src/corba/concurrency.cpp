@@ -318,6 +318,17 @@ void ConcurrencyService::recover(LockId id, std::uint32_t view,
       [&] { hls_.engine(id).begin_recovery(view, new_root, survivors); });
 }
 
+void ConcurrencyService::recover_all(std::uint32_t view, NodeId new_root,
+                                     const std::set<NodeId>& survivors) {
+  // The view service commits on the loop thread itself; run_on_loop
+  // would deadlock there (post-and-wait against our own thread).
+  if (node_.loop().on_loop_thread()) {
+    hls_.begin_recovery(view, new_root, survivors);
+    return;
+  }
+  run_on_loop([&] { hls_.begin_recovery(view, new_root, survivors); });
+}
+
 void ConcurrencyService::drop_locks(LockId id) {
   std::vector<LockHandle> holds;
   {

@@ -121,6 +121,14 @@ class ConcurrencyService {
   void recover(LockId id, std::uint32_t view, NodeId new_root,
                const std::set<NodeId>& survivors);
 
+  /// Crash recovery across every registered lock set at once — the shape
+  /// a live view change (net::ViewService) delivers. Safe from any
+  /// thread, including the node's own loop thread (where the view-commit
+  /// callback runs); threads blocked in lock() keep waiting and complete
+  /// once the regenerated token serves their re-issued requests.
+  void recover_all(std::uint32_t view, NodeId new_root,
+                   const std::set<NodeId>& survivors);
+
   [[nodiscard]] NodeId self() const { return node_.self(); }
 
  private:

@@ -473,6 +473,10 @@ void HlsEngine::begin_recovery(std::uint32_t new_view, NodeId new_root,
   frozen_.clear();
   grants_sent_.clear();
   grants_received_.clear();
+  // The head-bypass streak is token state; a regenerated token starts
+  // fresh or the pre-crash streak would wrongly suppress (or permit)
+  // bypasses in the new view.
+  locality_streak_ = 0;
 
   has_token_ = self_ == new_root;
   parent_ = has_token_ ? NodeId::invalid() : new_root;

@@ -20,6 +20,16 @@ HlsEngine& HlsNode::add_lock(LockId lock, NodeId initial_holder,
       std::make_unique<HlsEngine>(lock, self_, initial_holder, transport_,
                                   opts_, std::move(cbs), initial_parent);
   engine->set_cluster_map(cluster_map_);
+  if (recovery_view_ != 0) {
+    // Materialized after a recovery: adopt the committed view or every
+    // live message (stamped with it) would be fenced off. The root joins
+    // with an empty barrier — survivors with pre-crash state for this
+    // lock would have materialized it already (see begin_recovery).
+    const std::set<NodeId> scope = self_ == recovery_root_
+                                       ? std::set<NodeId>{self_}
+                                       : recovery_survivors_;
+    engine->begin_recovery(recovery_view_, recovery_root_, scope);
+  }
   auto [it, inserted] = engines_.emplace(lock, std::move(engine));
   if (!inserted) throw std::logic_error("lock added twice");
   if (lock.value < kDenseLockLimit) {
@@ -48,6 +58,17 @@ const HlsEngine* HlsNode::find(LockId lock) const {
 void HlsNode::set_cluster_map(const ClusterMap* map) {
   cluster_map_ = map;
   for (auto& [lock, eng] : engines_) eng->set_cluster_map(map);
+}
+
+void HlsNode::begin_recovery(std::uint32_t view, NodeId new_root,
+                             const std::set<NodeId>& survivors) {
+  recovery_view_ = view;
+  recovery_root_ = new_root;
+  recovery_survivors_ = survivors;
+  for (auto& [lock, eng] : engines_) {
+    if (eng->departed()) continue;
+    eng->begin_recovery(view, new_root, survivors);
+  }
 }
 
 void HlsNode::handle(const Message& m) { engine(m.lock).handle(m); }

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/flat_map.hpp"
@@ -55,6 +56,17 @@ class HlsNode {
   /// locality_bias option is inert.
   void set_cluster_map(const ClusterMap* map);
 
+  /// Crash recovery: apply the membership service's decision to every
+  /// materialized engine (departed tombstones are skipped — they have no
+  /// state to rebuild). The view is remembered, so an engine materialized
+  /// lazily afterwards adopts it instead of starting at view 0 and
+  /// fencing off all live traffic. A late-materialized engine joins with
+  /// an empty attach barrier — sound for locks untouched before the
+  /// crash (the lazy case's workload); locks with pre-crash remote state
+  /// must be registered eagerly on every node.
+  void begin_recovery(std::uint32_t view, NodeId new_root,
+                      const std::set<NodeId>& survivors);
+
   /// Route one incoming message to its lock's engine.
   void handle(const Message& m);
 
@@ -72,6 +84,11 @@ class HlsNode {
   UpgradedFn on_upgraded_;
   std::function<NodeId(LockId)> lazy_holder_;
   const ClusterMap* cluster_map_{nullptr};
+  /// Last committed recovery view (0 = none); adopted by engines that
+  /// materialize after the recovery ran.
+  std::uint32_t recovery_view_{0};
+  NodeId recovery_root_{NodeId::invalid()};
+  std::set<NodeId> recovery_survivors_;
   FlatMap<LockId, std::unique_ptr<HlsEngine>> engines_;
   /// O(1) lookup cache for small lock ids (the common, dense case): the
   /// engine() lookup is on the per-message hot path. Ids past the cap

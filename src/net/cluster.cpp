@@ -51,6 +51,8 @@ TcpStats InProcessCluster::total_stats() const {
     total.acks_piggybacked += s.acks_piggybacked;
     total.acks_standalone += s.acks_standalone;
     total.peer_restarts += s.peer_restarts;
+    total.peers_suspected += s.peers_suspected;
+    total.suspicions_cleared += s.suspicions_cleared;
     total.outbox_high_water =
         std::max(total.outbox_high_water, s.outbox_high_water);
     total.pending_high_water =

@@ -56,6 +56,33 @@ std::vector<std::uint8_t> ack_frame(std::uint64_t seq) {
   return w.take();
 }
 
+std::vector<std::uint8_t> view_change_frame(
+    std::uint8_t phase, std::uint32_t view,
+    const std::vector<NodeId>& survivors) {
+  const std::uint32_t body =
+      1 + 1 + 4 + 4 + 4 * static_cast<std::uint32_t>(survivors.size());
+  ByteWriter w;
+  w.reserve(4 + body);
+  w.u32(kControlFrameBit | body);
+  w.u8(static_cast<std::uint8_t>(ControlOp::kViewChange));
+  w.u8(phase);
+  w.u32(view);
+  w.u32(static_cast<std::uint32_t>(survivors.size()));
+  for (const NodeId n : survivors) w.u32(n.value);
+  return w.take();
+}
+
+std::vector<std::uint8_t> view_ack_frame(std::uint8_t phase,
+                                         std::uint32_t view) {
+  ByteWriter w;
+  w.reserve(4 + 1 + 1 + 4);
+  w.u32(kControlFrameBit | 6u);
+  w.u8(static_cast<std::uint8_t>(ControlOp::kViewAck));
+  w.u8(phase);
+  w.u32(view);
+  return w.take();
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
   buf_.insert(buf_.end(), data, data + size);
 }
@@ -91,6 +118,9 @@ bool FrameDecoder::next_frame(DecodedFrame& out) {
   out.has_ack = false;
   out.ack_seq = 0;
   out.hello_epoch = 0;
+  out.view_phase = 0;
+  out.view_id = 0;
+  out.view_members.clear();
   if (control) {
     ByteReader r(p + 4, len);
     const auto op = r.u8();
@@ -105,6 +135,27 @@ bool FrameDecoder::next_frame(DecodedFrame& out) {
         break;
       case ControlOp::kAck:
         out.ack_seq = r.u64();
+        break;
+      case ControlOp::kViewChange: {
+        out.view_phase = r.u8();
+        if (out.view_phase > kViewCommit)
+          throw DecodeError("bad view-change phase");
+        out.view_id = r.u32();
+        const std::uint32_t n = r.u32();
+        // The length check already bounds n via kMaxControlBytes; this
+        // guards against a count field that disagrees with the length.
+        if (static_cast<std::size_t>(n) * 4 != r.remaining())
+          throw DecodeError("view-change member count mismatch");
+        out.view_members.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+          out.view_members.push_back(NodeId{r.u32()});
+        break;
+      }
+      case ControlOp::kViewAck:
+        out.view_phase = r.u8();
+        if (out.view_phase > kViewCommit)
+          throw DecodeError("bad view-ack phase");
+        out.view_id = r.u32();
         break;
       default:
         throw DecodeError("unknown control op");

@@ -55,15 +55,28 @@ inline constexpr std::uint32_t kLengthMask =
 /// cumulative ack into already-encoded frames at this offset.
 inline constexpr std::size_t kAckFieldOffset = 12;
 
-/// Control payloads are tiny; anything larger is a corrupt stream.
-inline constexpr std::uint32_t kMaxControlBytes = 64;
+/// Control payloads are small; anything larger is a corrupt stream. The
+/// cap admits a view-change frame listing ~250 survivors (10 + 4·n bytes)
+/// while still rejecting runaway lengths instantly.
+inline constexpr std::uint32_t kMaxControlBytes = 1024;
 
 /// Transport-level control opcodes (first payload byte of a control frame).
 enum class ControlOp : std::uint8_t {
   kHello = 1,  ///< body: u32 sender NodeId [+ u64 epoch] — handshake
   kPing = 2,   ///< body: empty — heartbeat/keepalive
   kAck = 3,    ///< body: u64 — cumulative ack of delivered sequence numbers
+  /// body: u8 phase (kViewPropose|kViewCommit), u32 view, u32 count,
+  /// count × u32 survivor NodeIds — one phase of a view-change round,
+  /// coordinator -> survivor.
+  kViewChange = 4,
+  /// body: u8 phase, u32 view — survivor -> coordinator acknowledgement
+  /// of the matching kViewChange phase.
+  kViewAck = 5,
 };
+
+/// kViewChange / kViewAck phase byte values.
+inline constexpr std::uint8_t kViewPropose = 0;
+inline constexpr std::uint8_t kViewCommit = 1;
 
 /// Serialize one message into a ready-to-send protocol frame carrying the
 /// per-peer sequence number `seq` (the receiver delivers each sequence
@@ -84,6 +97,18 @@ std::vector<std::uint8_t> ping_frame();
 /// number <= `seq` has been delivered.
 std::vector<std::uint8_t> ack_frame(std::uint64_t seq);
 
+/// Build one phase of a view-change round: the coordinator's proposal
+/// (`phase` == kViewPropose) or commit (kViewCommit) of `view` with the
+/// given survivor set. `survivors` must be sorted ascending (the first
+/// entry doubles as the coordinator / new root on the receiving side).
+std::vector<std::uint8_t> view_change_frame(std::uint8_t phase,
+                                            std::uint32_t view,
+                                            const std::vector<NodeId>& survivors);
+
+/// Build a survivor's acknowledgement of a view-change phase.
+std::vector<std::uint8_t> view_ack_frame(std::uint8_t phase,
+                                         std::uint32_t view);
+
 /// One decoded frame: either a protocol Message or a control frame.
 struct DecodedFrame {
   bool control{false};
@@ -96,6 +121,10 @@ struct DecodedFrame {
   /// Cumulative ack: the kAck body, or the piggybacked value when
   /// has_ack (0 there means "no ack information").
   std::uint64_t ack_seq{0};
+  /// View-change fields, valid when op is kViewChange or kViewAck.
+  std::uint8_t view_phase{0};       ///< kViewPropose or kViewCommit
+  std::uint32_t view_id{0};         ///< proposed/committed view number
+  std::vector<NodeId> view_members; ///< survivor list (kViewChange only)
 };
 
 /// Incremental frame decoder (one per connection).

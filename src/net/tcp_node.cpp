@@ -106,6 +106,10 @@ TcpNode::~TcpNode() {
 void TcpNode::set_peers(std::map<NodeId, PeerAddress> peers) {
   loop_.post([this, peers = std::move(peers)]() mutable {
     peers_ = std::move(peers);
+    // Seed the failure detector: a peer we never hear from at all gets a
+    // full suspect_timeout of grace from this moment, not from epoch 0.
+    const TimePoint t = loop_.now();
+    for (const auto& [peer, address] : peers_) last_heard_.emplace(peer, t);
     // Peers dropped from the book must not be re-dialed by a timer armed
     // under the old book.
     for (auto& [peer, d] : dial_) {
@@ -131,6 +135,74 @@ void TcpNode::set_handler(std::function<void(const Message&)> fn) {
   }
   loop_.post([this, fn = std::move(fn)]() mutable {
     handler_ = std::move(fn);
+  });
+}
+
+void TcpNode::set_on_peer_suspected(std::function<void(NodeId, bool)> fn) {
+  if (loop_.on_loop_thread() || !loop_.running()) {
+    on_suspect_ = std::move(fn);
+    return;
+  }
+  loop_.post([this, fn = std::move(fn)]() mutable {
+    on_suspect_ = std::move(fn);
+  });
+}
+
+void TcpNode::set_control_handler(
+    std::function<void(NodeId, const DecodedFrame&)> fn) {
+  if (loop_.on_loop_thread() || !loop_.running()) {
+    control_handler_ = std::move(fn);
+    return;
+  }
+  loop_.post([this, fn = std::move(fn)]() mutable {
+    control_handler_ = std::move(fn);
+  });
+}
+
+void TcpNode::send_control(NodeId to, std::vector<std::uint8_t> bytes) {
+  loop_.post([this, to, bytes = std::move(bytes)]() mutable {
+    Connection* c = established_conn(to);
+    if (c == nullptr) {
+      // No link: the frame is dropped (control traffic is fire-and-forget
+      // at this layer; the view coordinator retries on its own timer) but
+      // kick a dial so a retry can land.
+      maybe_dial(to);
+      return;
+    }
+    queue_frame(*c, std::move(bytes), /*control=*/true);
+    request_flush(*c);
+  });
+}
+
+void TcpNode::forget_peer(NodeId peer) {
+  loop_.post([this, peer] {
+    // Drop the address book entry first: close_conn below consults it to
+    // decide whether to schedule a re-dial.
+    peers_.erase(peer);
+    std::vector<int> doomed;
+    for (const auto& [fd, c] : conns_)
+      if (c->peer == peer) doomed.push_back(fd);
+    for (const int fd : doomed) close_conn(fd);
+    const auto dit = dial_.find(peer);
+    if (dit != dial_.end()) {
+      if (dit->second.timer_pending) loop_.cancel_timer(dit->second.timer_id);
+      dial_.erase(dit);
+    }
+    const auto sit = send_.find(peer);
+    if (sit != send_.end()) {
+      unacked_frames_.fetch_sub(sit->second.window.size(), kRelax);
+      send_.erase(sit);
+    }
+    if (cfg_.send_window_limit != 0) {
+      std::lock_guard<std::mutex> lk(window_mu_);
+      window_pending_.erase(peer);
+    }
+    recv_seq_.erase(peer);
+    peer_epoch_.erase(peer);
+    ever_connected_.erase(peer);
+    last_heard_.erase(peer);
+    if (suspected_.erase(peer) != 0)
+      suspected_count_.store(suspected_.size(), kRelax);
   });
 }
 
@@ -665,6 +737,13 @@ void TcpNode::handle_frame(Connection& c, const DecodedFrame& f) {
       case ControlOp::kAck:
         if (c.peer.valid()) process_ack(c.peer, f.ack_seq);
         return;
+      case ControlOp::kViewChange:
+      case ControlOp::kViewAck:
+        // View-layer traffic; only meaningful from an identified peer.
+        // The handler may close connections — do not touch `c` after.
+        if (c.peer.valid() && c.greeted && control_handler_)
+          control_handler_(c.peer, f);
+        return;
     }
     return;
   }
@@ -755,6 +834,14 @@ void TcpNode::arm_heartbeat() {
   } else if (cfg_.idle_timeout > 0) {
     tick = std::max<Duration>(cfg_.idle_timeout / 4, msec(10));
   }
+  if (cfg_.suspect_timeout > 0) {
+    // The failure detector piggybacks on this tick; without heartbeats or
+    // idle reaping it still needs one, and a coarse heartbeat interval
+    // must not make suspicion precision worse than a quarter window.
+    const Duration want =
+        std::max<Duration>(cfg_.suspect_timeout / 4, msec(10));
+    tick = tick > 0 ? std::min(tick, want) : want;
+  }
   if (tick <= 0) return;
   loop_.schedule(tick, [this] {
     on_heartbeat();
@@ -791,6 +878,39 @@ void TcpNode::on_heartbeat() {
       flush(c);  // may close the connection; `c` is not touched after
     }
   }
+  if (cfg_.suspect_timeout > 0) check_suspects(t);
+}
+
+void TcpNode::check_suspects(TimePoint now) {
+  // Fold live connections' receive times into the per-peer record, which
+  // outlives any single connection (suspicion is about the peer process,
+  // not a link — reconnect churn must not trip it).
+  for (const auto& [fd, c] : conns_) {
+    if (!c->peer.valid() || c->connecting) continue;
+    auto it = last_heard_.find(c->peer);
+    if (it != last_heard_.end() && c->last_recv > it->second)
+      it->second = c->last_recv;
+  }
+  bool changed = false;
+  for (const auto& [peer, heard] : last_heard_) {
+    const bool silent = now - heard >= cfg_.suspect_timeout;
+    if (silent && suspected_.count(peer) == 0) {
+      suspected_.insert(peer);
+      changed = true;
+      stats_.peers_suspected.fetch_add(1, kRelax);
+      HLOCK_LOG(kInfo, "node " << self_ << ": peer " << peer
+                               << " suspected after "
+                               << (now - heard) / 1000 << " ms of silence");
+      if (on_suspect_) on_suspect_(peer, true);
+    } else if (!silent && suspected_.erase(peer) != 0) {
+      changed = true;
+      stats_.suspicions_cleared.fetch_add(1, kRelax);
+      HLOCK_LOG(kInfo, "node " << self_ << ": peer " << peer
+                               << " heard from again; suspicion cleared");
+      if (on_suspect_) on_suspect_(peer, false);
+    }
+  }
+  if (changed) suspected_count_.store(suspected_.size(), kRelax);
 }
 
 TcpStats TcpNode::stats() const {
@@ -817,6 +937,8 @@ TcpStats TcpNode::stats() const {
   s.acks_piggybacked = stats_.acks_piggybacked.load(kRelax);
   s.acks_standalone = stats_.acks_standalone.load(kRelax);
   s.peer_restarts = stats_.peer_restarts.load(kRelax);
+  s.peers_suspected = stats_.peers_suspected.load(kRelax);
+  s.suspicions_cleared = stats_.suspicions_cleared.load(kRelax);
   return s;
 }
 
@@ -840,7 +962,9 @@ std::string to_string(const TcpStats& s) {
      << " fpb17p=" << s.frames_per_batch[3]
      << " acks_piggybacked=" << s.acks_piggybacked
      << " acks_standalone=" << s.acks_standalone
-     << " peer_restarts=" << s.peer_restarts;
+     << " peer_restarts=" << s.peer_restarts
+     << " peers_suspected=" << s.peers_suspected
+     << " suspicions_cleared=" << s.suspicions_cleared;
   return os.str();
 }
 

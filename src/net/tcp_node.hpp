@@ -47,6 +47,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,14 @@ struct TcpConfig {
   /// long for one to be queued before falling back to a standalone ack.
   /// 0 disables piggybacking (every ack is a standalone frame).
   Duration ack_piggyback_window{0};
+  /// Failure detection: suspect a peer after this long without hearing
+  /// any byte from it (counting from set_peers for peers never heard at
+  /// all). Checked on the heartbeat tick, so effective precision is the
+  /// tick interval; configure heartbeat_interval well below this. A
+  /// suspected peer that speaks again is un-suspected (the detector is
+  /// unreliable by design — eventually-perfect, not perfect). 0 disables
+  /// suspicion entirely.
+  Duration suspect_timeout{0};
 };
 
 /// frames_per_batch histogram bucket upper bounds: 1, 2–4, 5–16, ≥17.
@@ -121,6 +130,8 @@ struct TcpStats {
   std::uint64_t acks_piggybacked{0};  ///< acks carried inside data frames
   std::uint64_t acks_standalone{0};   ///< standalone kAck frames queued
   std::uint64_t peer_restarts{0};     ///< hello epoch changes observed
+  std::uint64_t peers_suspected{0};   ///< suspicion transitions (silence)
+  std::uint64_t suspicions_cleared{0};///< suspected peers heard from again
 };
 
 class TcpNode {
@@ -145,6 +156,38 @@ class TcpNode {
 
   /// Handler invoked on the loop thread for every received message.
   void set_handler(std::function<void(const Message&)> fn);
+
+  /// Failure-detector callback, invoked on the loop thread whenever a
+  /// peer's suspicion state flips: `suspected` true after suspect_timeout
+  /// of silence, false when a suspected peer is heard from again. Requires
+  /// TcpConfig::suspect_timeout > 0.
+  void set_on_peer_suspected(std::function<void(NodeId, bool)> fn);
+
+  /// Handler for view-change control frames (ControlOp::kViewChange /
+  /// kViewAck), invoked on the loop thread with the sending peer. Frames
+  /// from connections that have not completed the hello handshake are
+  /// dropped (the sender retries).
+  void set_control_handler(
+      std::function<void(NodeId, const DecodedFrame&)> fn);
+
+  /// Best-effort control-frame send: queue `bytes` (a complete control
+  /// frame, e.g. view_change_frame()) on the established connection to
+  /// `to`, or drop it (kicking a re-dial) when none exists. Control frames
+  /// bypass the send windows — callers that need reliability retry on a
+  /// timer, which is exactly what the view coordinator does.
+  void send_control(NodeId to, std::vector<std::uint8_t> bytes);
+
+  /// Administrative removal of a peer (e.g. declared dead by a view
+  /// change): close its connection, cancel re-dials, drop its address-book
+  /// entry, and discard its send window and receive-dedup state so
+  /// unacked() can drain. Frames queued for the peer are lost by design —
+  /// it is dead.
+  void forget_peer(NodeId peer);
+
+  /// Peers currently suspected by the failure detector.
+  [[nodiscard]] std::size_t suspected_peers() const {
+    return suspected_count_.load(std::memory_order_relaxed);
+  }
 
   /// Thread-safe Transport: enqueue a message to a peer.
   class NodeTransport final : public Transport {
@@ -275,6 +318,7 @@ class TcpNode {
   void cancel_ack_timer(Connection& c);
   void arm_heartbeat();
   void on_heartbeat();
+  void check_suspects(TimePoint now);
 
   const NodeId self_;
   const TcpConfig cfg_;
@@ -310,6 +354,14 @@ class TcpNode {
   /// reconnect from a first connect in stats()).
   std::map<NodeId, bool> ever_connected_;
   std::function<void(const Message&)> handler_;
+  std::function<void(NodeId, bool)> on_suspect_;
+  std::function<void(NodeId, const DecodedFrame&)> control_handler_;
+  /// Failure detector (loop-confined): last time any byte was heard from
+  /// each peer in the book, seeded at set_peers so a peer that never
+  /// connects is suspected after one full window.
+  std::map<NodeId, TimePoint> last_heard_;
+  std::set<NodeId> suspected_;
+  std::atomic<std::size_t> suspected_count_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::size_t> connected_peers_{0};
 
@@ -336,6 +388,8 @@ class TcpNode {
     std::atomic<std::uint64_t> acks_piggybacked{0};
     std::atomic<std::uint64_t> acks_standalone{0};
     std::atomic<std::uint64_t> peer_restarts{0};
+    std::atomic<std::uint64_t> peers_suspected{0};
+    std::atomic<std::uint64_t> suspicions_cleared{0};
   } stats_;
 };
 

@@ -1,0 +1,204 @@
+#include "net/view_service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "net/framing.hpp"
+
+namespace hlock::net {
+
+namespace {
+constexpr auto kRelax = std::memory_order_relaxed;
+}  // namespace
+
+ViewService::ViewService(TcpNode& node, std::set<NodeId> members,
+                         ViewConfig cfg)
+    : node_(node), cfg_(cfg), members_(std::move(members)) {
+  members_.insert(node_.self());
+}
+
+ViewService::~ViewService() {
+  // The node may outlive this service; its hooks must not dangle. When
+  // the loop is running, a posted clear could still race our own death,
+  // so block until it has executed.
+  if (!node_.loop().running()) {
+    node_.set_on_peer_suspected(nullptr);
+    node_.set_control_handler(nullptr);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  node_.loop().post([&] {
+    node_.set_on_peer_suspected(nullptr);
+    node_.set_control_handler(nullptr);
+    round_active_ = false;
+    if (retry_armed_) {
+      node_.loop().cancel_timer(retry_timer_id_);
+      retry_armed_ = false;
+    }
+    {
+      const std::lock_guard<std::mutex> guard(mu);
+      done = true;
+    }
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return done; });
+}
+
+void ViewService::start() {
+  node_.set_on_peer_suspected(
+      [this](NodeId peer, bool suspected) { on_suspect(peer, suspected); });
+  node_.set_control_handler(
+      [this](NodeId from, const DecodedFrame& f) { on_control(from, f); });
+}
+
+void ViewService::on_suspect(NodeId peer, bool suspected) {
+  if (members_.count(peer) == 0) return;  // already excluded by a commit
+  if (suspected) {
+    dead_.insert(peer);
+  } else {
+    // A false suspicion cleared before any commit excluded the peer: put
+    // it back. An in-flight round built without it is abandoned (or
+    // rebuilt) by maybe_start_round below.
+    dead_.erase(peer);
+  }
+  maybe_start_round();
+}
+
+void ViewService::maybe_start_round() {
+  std::vector<NodeId> survivors;
+  for (const NodeId m : members_)
+    if (dead_.count(m) == 0) survivors.push_back(m);
+  if (dead_.empty() || survivors.empty() ||
+      std::find(survivors.begin(), survivors.end(), node_.self()) ==
+          survivors.end()) {
+    // Nothing to exclude, or we are the excluded one (a partitioned
+    // minority that suspects everyone must not elect itself root).
+    round_active_ = false;
+    return;
+  }
+  if (survivors.front() != node_.self()) {
+    // Not the coordinator; a lower surviving id drives the round. Should
+    // that id die too, its suspicion lands in dead_ and we re-evaluate.
+    round_active_ = false;
+    return;
+  }
+  if (round_active_ && round_survivors_ == survivors) return;  // in flight
+  round_active_ = true;
+  round_view_ = std::max(committed_view_, highest_seen_) + 1;
+  highest_seen_ = round_view_;
+  round_phase_ = kViewPropose;
+  round_survivors_ = std::move(survivors);
+  round_pending_.clear();
+  for (const NodeId s : round_survivors_)
+    if (s != node_.self()) round_pending_.insert(s);
+  HLOCK_LOG(kInfo, "node " << node_.self() << ": coordinating view "
+                           << round_view_ << " with "
+                           << round_survivors_.size() << " survivors");
+  if (round_pending_.empty()) {
+    // Sole survivor: the view is decided by construction.
+    do_commit(round_view_, round_survivors_);
+    round_active_ = false;
+    return;
+  }
+  send_phase();
+  arm_retry();
+}
+
+void ViewService::send_phase() {
+  for (const NodeId p : round_pending_) {
+    node_.send_control(
+        p, view_change_frame(round_phase_, round_view_, round_survivors_));
+    frames_sent_.fetch_add(1, kRelax);
+  }
+}
+
+void ViewService::arm_retry() {
+  if (retry_armed_) return;
+  retry_armed_ = true;
+  retry_timer_id_ =
+      node_.loop().schedule_cancellable(cfg_.retry_interval, [this] {
+        retry_armed_ = false;
+        if (!round_active_) return;
+        send_phase();
+        arm_retry();
+      });
+}
+
+void ViewService::on_control(NodeId from, const DecodedFrame& f) {
+  if (f.op == ControlOp::kViewAck) {
+    advance_round(from, f);
+    return;
+  }
+  if (f.op != ControlOp::kViewChange) return;
+  highest_seen_ = std::max(highest_seen_, f.view_id);
+  const bool self_in =
+      std::find(f.view_members.begin(), f.view_members.end(), node_.self()) !=
+      f.view_members.end();
+  if (f.view_phase == kViewPropose) {
+    // Valid proposals come from the lowest id of their own survivor set
+    // and never regress the committed view. Ack is idempotent — a
+    // retransmitted proposal (our ack was lost) is simply re-acked.
+    if (!self_in || f.view_members.empty() || f.view_members.front() != from)
+      return;
+    if (f.view_id <= committed_view_) return;
+    node_.send_control(from, view_ack_frame(kViewPropose, f.view_id));
+    frames_sent_.fetch_add(1, kRelax);
+    return;
+  }
+  // Commit: apply once (monotonic), re-ack every delivery so the
+  // coordinator's round can terminate even when the first ack is lost.
+  if (!self_in || f.view_members.empty() || f.view_members.front() != from)
+    return;
+  if (f.view_id > committed_view_) do_commit(f.view_id, f.view_members);
+  node_.send_control(from, view_ack_frame(kViewCommit, f.view_id));
+  frames_sent_.fetch_add(1, kRelax);
+}
+
+void ViewService::advance_round(NodeId from, const DecodedFrame& f) {
+  if (!round_active_ || f.view_id != round_view_ ||
+      f.view_phase != round_phase_)
+    return;  // stale ack from an abandoned round or a finished phase
+  if (round_pending_.erase(from) == 0 || !round_pending_.empty()) return;
+  if (round_phase_ == kViewPropose) {
+    // Every survivor accepted the proposal. Commit locally BEFORE telling
+    // anyone: the commit triggers begin_recovery, and the root (us) must
+    // be in the new view before the survivors' kAttach frames — stamped
+    // with it — arrive, or the attach barrier could never complete.
+    do_commit(round_view_, round_survivors_);
+    round_phase_ = kViewCommit;
+    for (const NodeId s : round_survivors_)
+      if (s != node_.self()) round_pending_.insert(s);
+    send_phase();
+    arm_retry();
+    return;
+  }
+  // Commit phase fully acked: the round is over.
+  round_active_ = false;
+}
+
+void ViewService::do_commit(std::uint32_t view,
+                            const std::vector<NodeId>& survivors) {
+  committed_view_ = view;
+  committed_view_atomic_.store(view, kRelax);
+  views_committed_.fetch_add(1, kRelax);
+  // Transport hygiene: members not in the new view are dead — stop
+  // re-dialing them and let their send windows drain to zero.
+  const std::set<NodeId> next(survivors.begin(), survivors.end());
+  for (const NodeId m : members_)
+    if (next.count(m) == 0 && m != node_.self()) node_.forget_peer(m);
+  members_ = next;
+  for (auto it = dead_.begin(); it != dead_.end();) {
+    it = members_.count(*it) == 0 ? dead_.erase(it) : ++it;
+  }
+  HLOCK_LOG(kInfo, "node " << node_.self() << ": committed view " << view
+                           << ", root " << survivors.front() << ", "
+                           << survivors.size() << " survivors");
+  if (on_view_) on_view_(view, survivors.front(), members_);
+}
+
+}  // namespace hlock::net

@@ -1,0 +1,120 @@
+// ViewService — deterministic crash-recovery view changes over a TcpNode.
+//
+// Layered on the transport failure detector (TcpConfig::suspect_timeout):
+// when a member falls silent, the lowest-id survivor coordinates a new
+// view over kViewChange/kViewAck control frames (bit-31 frames; they never
+// touch the protocol engines):
+//
+//   1. propose(view, survivors): the coordinator picks
+//      view = max(committed, highest seen) + 1 and the survivor set
+//      (current membership minus suspects), and sends the proposal to
+//      every other survivor. Survivors validate that the sender is the
+//      lowest id of the proposed set and ack.
+//   2. commit(view, survivors): once every survivor acked the proposal,
+//      the coordinator commits locally FIRST — the new root must be in
+//      the new view before any survivor's re-attach traffic (stamped with
+//      that view) can arrive, or the recovery barrier would never
+//      complete — then sends the commit. Survivors commit idempotently
+//      and ack; retransmitted commits are re-acked.
+//
+// Control frames are not covered by the transport send windows, so both
+// phases are driven by a retry timer until every survivor has acked; a
+// survivor dying mid-round restarts the round with a higher view number
+// and a smaller survivor set. If the coordinator itself dies, the next
+// lowest survivor's own failure detector starts a fresh round.
+//
+// The committed view maps directly onto HlsEngine::begin_recovery: the
+// callback's (view, new_root = lowest survivor, survivors) arguments are
+// identical on every survivor, and on commit the dead members are
+// forgotten at the transport (windows dropped, re-dials cancelled).
+//
+// Everything runs on the node's loop thread; the accessors are safe from
+// any thread. The service claims the node's on_peer_suspected and
+// control-frame hooks for itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/tcp_node.hpp"
+
+namespace hlock::net {
+
+struct ViewConfig {
+  /// Re-send cadence for unacked propose/commit frames. Also bounds how
+  /// quickly a round restarts after a mid-round membership change.
+  Duration retry_interval{msec(50)};
+};
+
+class ViewService {
+ public:
+  /// Fired on the loop thread when a view commits, exactly once per view,
+  /// in increasing view order. `new_root` is the lowest surviving id.
+  using ViewFn = std::function<void(std::uint32_t view, NodeId new_root,
+                                    const std::set<NodeId>& survivors)>;
+
+  /// `members` is the full initial cluster membership (self included) and
+  /// must be identical on every node. The node's TcpConfig must have
+  /// suspect_timeout > 0 or no round ever starts.
+  ViewService(TcpNode& node, std::set<NodeId> members, ViewConfig cfg = {});
+
+  /// Detaches from the node's hooks. Destroy before the node, on any
+  /// thread; if the loop still runs this blocks until the hooks are clear.
+  ~ViewService();
+  ViewService(const ViewService&) = delete;
+  ViewService& operator=(const ViewService&) = delete;
+
+  /// Install the hooks and start watching. Call once, after set_peers.
+  void start();
+
+  void set_on_view(ViewFn fn) { on_view_ = std::move(fn); }
+
+  /// Last committed view (0 = the initial, pre-crash view).
+  [[nodiscard]] std::uint32_t view() const {
+    return committed_view_atomic_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t views_committed() const {
+    return views_committed_.load(std::memory_order_relaxed);
+  }
+  /// kViewChange/kViewAck frames this service queued (retries included) —
+  /// the coordination share of a recovery's message cost.
+  [[nodiscard]] std::uint64_t view_frames_sent() const {
+    return frames_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void on_suspect(NodeId peer, bool suspected);
+  void on_control(NodeId from, const DecodedFrame& f);
+  void maybe_start_round();
+  void send_phase();
+  void advance_round(NodeId from, const DecodedFrame& f);
+  void do_commit(std::uint32_t view, const std::vector<NodeId>& survivors);
+  void arm_retry();
+
+  TcpNode& node_;
+  const ViewConfig cfg_;
+  ViewFn on_view_;
+
+  // Loop-confined state.
+  std::set<NodeId> members_;     ///< current membership (shrinks on commit)
+  std::set<NodeId> dead_;        ///< suspected members not yet excluded
+  std::uint32_t committed_view_{0};
+  std::uint32_t highest_seen_{0};  ///< floor for new proposals
+  bool round_active_{false};
+  std::uint32_t round_view_{0};
+  std::uint8_t round_phase_{0};          ///< kViewPropose or kViewCommit
+  std::vector<NodeId> round_survivors_;  ///< sorted ascending
+  std::set<NodeId> round_pending_;       ///< survivors yet to ack the phase
+  bool retry_armed_{false};
+  std::uint64_t retry_timer_id_{0};
+
+  std::atomic<std::uint32_t> committed_view_atomic_{0};
+  std::atomic<std::uint64_t> views_committed_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+};
+
+}  // namespace hlock::net

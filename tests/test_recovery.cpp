@@ -9,6 +9,7 @@
 #include <set>
 #include <vector>
 
+#include "common/cluster_map.hpp"
 #include "core/hls_engine.hpp"
 #include "test_util.hpp"
 
@@ -18,6 +19,9 @@ namespace {
 NodeId id_of(char c) { return NodeId{static_cast<std::uint32_t>(c - 'A')}; }
 
 struct Net {
+  Net() = default;
+  Net(EngineOptions o, const ClusterMap* map) : opts(o), clusters(map) {}
+
   HlsEngine& add(char name, char root) {
     EngineCallbacks cbs;
     cbs.on_acquired = [this, name](RequestId id, Mode mode) {
@@ -29,7 +33,8 @@ struct Net {
     auto engine = std::make_unique<HlsEngine>(LockId{0}, id_of(name),
                                               id_of(root),
                                               bus.port(id_of(name)),
-                                              EngineOptions{}, std::move(cbs));
+                                              opts, std::move(cbs));
+    engine->set_cluster_map(clusters);
     HlsEngine* raw = engine.get();
     bus.register_handler(id_of(name),
                          [raw](const Message& m) { raw->handle(m); });
@@ -59,6 +64,8 @@ struct Net {
   }
 
   testing::TestBus bus;
+  EngineOptions opts{};
+  const ClusterMap* clusters{nullptr};
   std::map<char, std::unique_ptr<HlsEngine>> engines;
   std::map<char, std::vector<std::pair<RequestId, Mode>>> acquired;
   std::map<char, std::vector<RequestId>> upgraded;
@@ -216,6 +223,150 @@ TEST(Recovery, SuccessiveCrashesAndRecoveries) {
   ASSERT_EQ(net.acquired['D'].size(), 1u);
   net['C'].unlock(net.acquired['C'][0].first);
   net['D'].unlock(net.acquired['D'][0].first);
+  net.pump();
+}
+
+// The head-bypass streak is token state: a regenerated token must start
+// with a fresh streak or the fairness cap misbehaves across the view
+// change (a maxed-out pre-crash streak would suppress legal post-recovery
+// bypasses; regression for the begin_recovery reset).
+TEST(Recovery, LocalityStreakResetsWithRegeneratedToken) {
+  EngineOptions opts;
+  opts.locality_bias = true;
+  opts.locality_fairness_cap = 1;
+  // A,B in cluster 0; C,D in cluster 1.
+  const ClusterMap map = ClusterMap::make(4, 2, ClusterPlacement::kBlock);
+  Net net(opts, &map);
+  net.add('A', 'A');
+  net.add('B', 'A');
+  net.add('C', 'A');
+  net.add('D', 'A');
+
+  // A (root, token) piles up R holds; remote C's W queues at the head and
+  // freezes R, so same-cluster B's R queues behind it. Releasing one of
+  // A's spare holds triggers queue service: the biased pick copy-grants B
+  // past the blocked head, maxing the streak at the cap.
+  const RequestId ra = net['A'].request_lock(Mode::kR);
+  const RequestId ra2 = net['A'].request_lock(Mode::kR);
+  const RequestId ra3 = net['A'].request_lock(Mode::kR);
+  net.pump();
+  (void)net['C'].request_lock(Mode::kW);
+  net.pump();
+  (void)net['B'].request_lock(Mode::kR);
+  net.pump();
+  EXPECT_TRUE(net.acquired['B'].empty());  // R frozen by the queued W
+  net['A'].unlock(ra3);
+  net.pump();
+  ASSERT_EQ(net.acquired['B'].size(), 1u);  // bypassed C's queued W
+  EXPECT_EQ(net['A'].locality_streak(), 1u);
+  net['B'].unlock(net.acquired['B'][0].first);
+  net.pump();
+
+  // Idle D crashes; the view change regenerates the token at A. C's
+  // pending W is re-issued and queues again behind A's surviving R holds.
+  net.crash('D');
+  net.recover(1, 'A');
+  EXPECT_TRUE(net['A'].is_token_node());
+  EXPECT_TRUE(net.acquired['C'].empty());
+  EXPECT_EQ(net['A'].locality_streak(), 0u);
+
+  // Behavioral pin: with the streak reset, B's next same-cluster R may
+  // again bypass the head at the next service point; with a stale streak
+  // (== cap) it would sit blocked behind C's W until A fully released.
+  (void)net['B'].request_lock(Mode::kR);
+  net.pump();
+  net['A'].unlock(ra2);
+  net.pump();
+  ASSERT_EQ(net.acquired['B'].size(), 2u);
+  EXPECT_TRUE(net.acquired['C'].empty());
+
+  // Unwind: readers drain, then C's W is finally served head-first.
+  net['B'].unlock(net.acquired['B'][1].first);
+  net['A'].unlock(ra);
+  net.pump();
+  ASSERT_EQ(net.acquired['C'].size(), 1u);
+  EXPECT_EQ(net.acquired['C'][0].second, Mode::kW);
+  net['C'].unlock(net.acquired['C'][0].first);
+  net.pump();
+}
+
+// Requests and attaches stamped with a pre-recovery view must be fenced,
+// not queued — a crashed node's in-flight traffic cannot leak into the
+// rebuilt tree.
+TEST(Recovery, StaleViewRequestAndAttachAreFenced) {
+  Net net;
+  net.add('A', 'A');
+  net.add('B', 'A');
+  net.add('C', 'A');
+  net.crash('C');
+  net.recover(1, 'A');
+
+  // View-0 request from the dead C, delivered late.
+  Message req;
+  req.kind = MsgKind::kRequest;
+  req.lock = LockId{0};
+  req.from = id_of('C');
+  req.req = QueuedRequest{id_of('C'), Mode::kW, LamportStamp{1, id_of('C')}};
+  req.view = 0;
+  net['A'].handle(req);
+  // View-0 attach claiming a W hold, delivered late.
+  Message att;
+  att.kind = MsgKind::kAttach;
+  att.lock = LockId{0};
+  att.from = id_of('C');
+  att.mode = Mode::kW;
+  att.view = 0;
+  net['A'].handle(att);
+
+  // Neither fenced message left a trace: C is not a child, and a live
+  // writer is served instantly (nothing queued ahead of it, nothing
+  // phantom-held against it).
+  EXPECT_EQ(net['A'].children().count(id_of('C')), 0u);
+  (void)net['B'].request_lock(Mode::kW);
+  net.pump();
+  ASSERT_EQ(net.acquired['B'].size(), 1u);
+  net['B'].unlock(net.acquired['B'][0].first);
+  net.pump();
+}
+
+// A second crash during an open recovery barrier: the new view supersedes
+// the half-finished one, view-1 attaches are fenced at the view-2 root,
+// and exactly one token emerges.
+TEST(Recovery, SecondRecoveryBeforeFirstBarrierCompletes) {
+  Net net;
+  net.add('A', 'A');
+  net.add('B', 'A');
+  net.add('C', 'A');
+  net.add('D', 'A');
+  (void)net['B'].request_lock(Mode::kR);
+  net.pump();
+
+  net.crash('D');
+  // View 1 starts on every survivor, but its attaches are NOT delivered:
+  // C dies mid-barrier and view 2 begins first.
+  const std::set<NodeId> v1{id_of('A'), id_of('B'), id_of('C')};
+  net['A'].begin_recovery(1, id_of('A'), v1);
+  net['B'].begin_recovery(1, id_of('A'), v1);
+  net['C'].begin_recovery(1, id_of('A'), v1);
+  net.crash('C');
+  const std::set<NodeId> v2{id_of('A'), id_of('B')};
+  net['A'].begin_recovery(2, id_of('A'), v2);
+  net['B'].begin_recovery(2, id_of('A'), v2);
+  // Everything lands at once: C's (and B's) view-1 attaches are stale at
+  // the view-2 root; B's view-2 attach closes the barrier.
+  net.pump();
+
+  EXPECT_TRUE(net['A'].is_token_node());
+  EXPECT_FALSE(net['B'].is_token_node());
+  EXPECT_EQ(net['A'].children().count(id_of('C')), 0u);
+  // B's R hold survived both recoveries and still blocks a writer.
+  (void)net['A'].request_lock(Mode::kW);
+  net.pump();
+  EXPECT_TRUE(net.acquired['A'].empty());
+  net['B'].unlock(net.acquired['B'][0].first);
+  net.pump();
+  ASSERT_EQ(net.acquired['A'].size(), 1u);
+  net['A'].unlock(net.acquired['A'][0].first);
   net.pump();
 }
 

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke over a real multi-process cluster: a 3-node
+# hlock_node mesh with the failure detector + view service enabled
+# (--suspect-timeout-ms). Node 0 — lock 0's initial root, i.e. the token
+# holder — takes W and is then SIGKILLed mid-hold. The survivors must
+# suspect the silence, commit a view (the [view] stderr line), regenerate
+# the token at the new root (node 1), and serve both queued W requests.
+#
+# Asserts: every survivor's blocked `lock 0 W` is granted AND released
+# after the kill, both survivors exit cleanly, at least one [view] line
+# appears, and peers_suspected > 0 in the [tcp-stats] exit lines — i.e.
+# recovery was exercised, not bypassed.
+#
+# Usage: tools/crash_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD="${1:-build}"
+NODE_BIN="$BUILD/tools/hlock_node"
+if [ ! -x "$NODE_BIN" ]; then
+  echo "crash_smoke: missing binary $NODE_BIN (build the 'hlock_node' target first)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+cleanup() {
+  # shellcheck disable=SC2046
+  kill $(jobs -p) 2> /dev/null
+  wait 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+NODES=3
+declare -a PORT
+if command -v python3 > /dev/null 2>&1; then
+  # Kernel-assigned free ports (bound simultaneously, so all distinct);
+  # the tiny close-to-rebind race is far rarer than a fixed-base clash.
+  read -r -a PORT <<< "$(python3 - "$NODES" << 'EOF'
+import socket, sys
+socks = [socket.socket() for _ in range(int(sys.argv[1]))]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+EOF
+)"
+else
+  # Fallback: a pid-salted block, distinct per run.
+  BASE=$((24000 + ($$ % 18000)))
+  for i in $(seq 0 $((NODES - 1))); do
+    PORT[i]=$((BASE + i))
+  done
+fi
+
+peer_flags() { # peer_flags <self-id>
+  local self="$1" flags="" j
+  for j in $(seq 0 $((NODES - 1))); do
+    [ "$j" = "$self" ] && continue
+    flags="$flags --peer $j=127.0.0.1:${PORT[j]}"
+  done
+  echo "$flags"
+}
+
+COMMON_FLAGS="--locks 1 --reconnect-min-ms 10 --reconnect-max-ms 100 \
+  --heartbeat-ms 50 --suspect-timeout-ms 400 --view-retry-ms 25"
+
+# The victim: node 0 owns lock 0's token at startup, takes W immediately,
+# and never releases — the kill below lands mid-hold. Started via process
+# substitution (NOT a pipeline) so $! is the node's own PID.
+# shellcheck disable=SC2046
+"$NODE_BIN" --id 0 --port "${PORT[0]}" $(peer_flags 0) $COMMON_FLAGS \
+  > "$WORK/node0.log" 2>&1 < <(
+    echo "lock 0 W"
+    sleep 60
+  ) &
+VICTIM_PID=$!
+
+# Survivors: wait for the victim's hold to be in place, then issue a W
+# that must queue behind it — the grant can only arrive post-recovery.
+start_survivor() { # start_survivor <id>
+  local id="$1"
+  # shellcheck disable=SC2046
+  {
+    sleep 2
+    echo "lock 0 W"
+    sleep 1
+    echo "unlock 1"
+    echo "status"
+    sleep 4
+    echo "quit"
+  } | timeout 60 "$NODE_BIN" --id "$id" --port "${PORT[id]}" \
+    $(peer_flags "$id") $COMMON_FLAGS \
+    > "$WORK/node$id.log" 2>&1 &
+  eval "SURVIVOR_PID_$id=$!"
+}
+start_survivor 1
+start_survivor 2
+
+# Let the survivors' requests queue at the victim, then kill it outright.
+sleep 3.5
+if ! grep -q "granted W on lock 0" "$WORK/node0.log"; then
+  echo "crash_smoke: victim never took its W hold" >&2
+  cat "$WORK/node0.log" >&2
+  exit 1
+fi
+kill -9 "$VICTIM_PID" 2> /dev/null
+
+fail=0
+for i in 1 2; do
+  eval "pid=\$SURVIVOR_PID_$i"
+  if ! wait "$pid"; then
+    echo "crash_smoke: survivor $i exited non-zero (hung or crashed)" >&2
+    fail=1
+  fi
+done
+
+for i in 1 2; do
+  if ! grep -q "granted W on lock 0" "$WORK/node$i.log"; then
+    echo "crash_smoke: survivor $i was never granted W after the crash" >&2
+    fail=1
+  fi
+  if ! grep -q "released" "$WORK/node$i.log"; then
+    echo "crash_smoke: survivor $i never released its W" >&2
+    fail=1
+  fi
+done
+
+echo "--- [view] lines ---"
+grep -h '\[view\]' "$WORK"/node*.log || true
+if ! grep -hq '\[view\]' "$WORK/node1.log" "$WORK/node2.log"; then
+  echo "crash_smoke: no survivor ever committed a view" >&2
+  fail=1
+fi
+
+echo "--- [tcp-stats] exit lines ---"
+grep -h '\[tcp-stats\]' "$WORK"/node*.log || true
+if ! grep -h '\[tcp-stats\]' "$WORK/node1.log" "$WORK/node2.log" \
+  | grep -Eq 'peers_suspected=[1-9]'; then
+  echo "crash_smoke: no survivor ever suspected the dead peer" >&2
+  fail=1
+fi
+if ! grep -h '\[tcp-stats\]' "$WORK/node1.log" "$WORK/node2.log" \
+  | grep -Eq 'views_committed=[1-9]'; then
+  echo "crash_smoke: exit stats show no committed view" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "=== crash_smoke FAILED; node logs follow ===" >&2
+  for i in $(seq 0 $((NODES - 1))); do
+    echo "--- node $i ---" >&2
+    cat "$WORK/node$i.log" >&2
+  done
+  exit 1
+fi
+echo "crash_smoke: PASS (token holder SIGKILLed; survivors recovered and locked)"

@@ -22,6 +22,8 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -30,6 +32,7 @@
 #include "common/parse.hpp"
 #include "corba/concurrency.hpp"
 #include "net/tcp_node.hpp"
+#include "net/view_service.hpp"
 
 using namespace hlock;
 
@@ -69,6 +72,7 @@ struct Options {
   std::map<NodeId, net::PeerAddress> peers;
   std::uint32_t locks{1};
   net::TcpConfig tcp{};
+  std::uint32_t view_retry_ms{50};
 };
 
 Options parse_args(int argc, char** argv) {
@@ -93,6 +97,13 @@ Options parse_args(int argc, char** argv) {
       opt.tcp.heartbeat_interval = msec(parse_u32(arg, next()));
     } else if (arg == "--idle-timeout-ms") {
       opt.tcp.idle_timeout = msec(parse_u32(arg, next()));
+    } else if (arg == "--suspect-timeout-ms") {
+      // Failure detection + automatic view changes: suspect a silent peer
+      // after this long and let the lowest surviving id coordinate a
+      // recovery view. 0 (default) = crashes are not handled.
+      opt.tcp.suspect_timeout = msec(parse_u32(arg, next()));
+    } else if (arg == "--view-retry-ms") {
+      opt.view_retry_ms = parse_u32(arg, next());
     } else if (arg == "--max-batch-bytes") {
       // Frame-coalescing cap per writev batch; 0 = one frame per syscall.
       opt.tcp.max_batch_bytes = parse_u32(arg, next());
@@ -143,6 +154,25 @@ int main(int argc, char** argv) {
       static_cast<std::uint32_t>(opt.peers.size()) + 1;
   for (std::uint32_t l = 0; l < opt.locks; ++l) {
     service.create_lock_set(LockId{l}, NodeId{l % cluster_size});
+  }
+
+  // Crash recovery: with a suspect timeout configured, a dead peer
+  // triggers an automatic view change that regenerates every lock's
+  // token at the new root (the lowest surviving id).
+  std::unique_ptr<net::ViewService> views;
+  if (opt.tcp.suspect_timeout > 0) {
+    std::set<NodeId> members;
+    members.insert(NodeId{opt.id});
+    for (const auto& [pid, addr] : opt.peers) members.insert(pid);
+    views = std::make_unique<net::ViewService>(
+        node, std::move(members), net::ViewConfig{msec(opt.view_retry_ms)});
+    views->set_on_view([&](std::uint32_t view, NodeId root,
+                           const std::set<NodeId>& survivors) {
+      service.recover_all(view, root, survivors);
+      std::cerr << "[view] node=" << opt.id << " view=" << view << " root="
+                << root << " survivors=" << survivors.size() << "\n";
+    });
+    views->start();
   }
 
   std::map<std::uint64_t, corba::LockHandle> handles;
@@ -224,6 +254,11 @@ int main(int argc, char** argv) {
   // Machine-greppable transport summary (docs/NETWORKING.md documents the
   // format; the CI chaos smoke asserts on it).
   std::cerr << "[tcp-stats] node=" << opt.id << " delivered="
-            << node.delivered() << " " << to_string(node.stats()) << "\n";
+            << node.delivered() << " " << to_string(node.stats());
+  if (views) {
+    std::cerr << " views_committed=" << views->views_committed()
+              << " view_frames=" << views->view_frames_sent();
+  }
+  std::cerr << "\n";
   return 0;
 }
