@@ -33,6 +33,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: many_locks [--nodes N] [--trees N] [--levels 3|4]\n"
     "         [--lock-count N] [--zipf T] [--shards N] [--ops N]\n"
+    "         [--cross-tree-pct P] [--cross-tree-unordered]\n"
+    "         [--clusters N] [--intra-latency-ms M]\n"
     "         [--seed S] [--repeat N] [--json]\n";
 
 }  // namespace
@@ -41,9 +43,24 @@ int main(int argc, char** argv) {
   bench::CliOptions defaults;
   std::uint32_t trees = 16;
   std::uint32_t levels = 4;
+  double cross_tree_pct = 0.0;
+  bool cross_tree_unordered = false;
   const bench::CliOptions cli = bench::parse_cli(
       argc, argv, kUsage, defaults,
       [&](const std::string& arg, const std::function<std::string()>& value) {
+        if (arg == "--cross-tree-pct") {
+          const auto v = try_parse_double(value());
+          if (!v || *v < 0.0 || *v > 100.0) {
+            std::cerr << "error: --cross-tree-pct expects 0..100\n" << kUsage;
+            std::exit(2);
+          }
+          cross_tree_pct = *v;
+          return true;
+        }
+        if (arg == "--cross-tree-unordered") {
+          cross_tree_unordered = true;
+          return true;
+        }
         if (arg == "--trees") {
           const auto v = try_parse_u32(value());
           if (!v || *v == 0) {
@@ -75,6 +92,13 @@ int main(int argc, char** argv) {
   cfg.trees = trees;
   cfg.levels = levels;
   cfg.shards = cli.shards != 0 ? cli.shards : 1;
+  cfg.cross_tree_pct = cross_tree_pct;
+  cfg.cross_tree_unordered = cross_tree_unordered;
+  cfg.clusters = cli.clusters;
+  cfg.intra_latency_mean =
+      cli.intra_latency_ms > 0.0
+          ? static_cast<Duration>(cli.intra_latency_ms * 1000.0)
+          : Duration{0};
   cfg.spec.lock_count = 50'000;
   cfg.spec.zipf_theta = 0.9;
   cfg.spec.ops_per_node = 40;
@@ -83,6 +107,9 @@ int main(int argc, char** argv) {
   ManyLocksResult r;
   double best_ms = 0;
   std::uint64_t rounds = 0;
+  std::uint64_t cross_posts = 0;
+  std::uint64_t mailbox_events = 0;
+  std::uint64_t revalidations = 0;
   for (int i = 0; i < cli.repeat; ++i) {
     ManyLocksCluster cluster(cfg);
     const auto t0 = std::chrono::steady_clock::now();
@@ -92,13 +119,22 @@ int main(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (i == 0 || ms < best_ms) best_ms = ms;
     rounds = cluster.rounds();
+    cross_posts = cluster.sharded().cross_posts();
+    mailbox_events = cluster.sharded().mailbox_events();
+    revalidations = cluster.sharded().window_revalidations();
     r = cluster.result();
   }
 
-  // Wall-clock facts are shard- and machine-dependent: stderr only.
+  // Wall-clock facts are shard- and machine-dependent: stderr only. The
+  // cross-shard channel counters depend on the shard layout too (how
+  // many posts ride a mailbox vs insert directly), so they live here,
+  // not in the deterministic stdout report.
   std::cerr << "[many-locks] shards=" << cfg.shards << " threads="
             << (cfg.run_threads == 0 ? cfg.shards : cfg.run_threads)
-            << " rounds=" << rounds << " wall_ms=" << best_ms << " ev/s="
+            << " rounds=" << rounds << " cross_posts=" << cross_posts
+            << " mailbox_events=" << mailbox_events
+            << " window_revalidations=" << revalidations
+            << " wall_ms=" << best_ms << " ev/s="
             << static_cast<double>(r.events) / (best_ms / 1000.0) << "\n";
 
   // The dense dispatch slot is all an untouched lock costs, on every node.
@@ -118,6 +154,9 @@ int main(int argc, char** argv) {
               << ",\"events\":" << r.events
               << ",\"virtual_end\":" << r.virtual_end
               << ",\"engines_materialized\":" << r.engines_materialized
+              << ",\"cross_tree_pct\":" << json_double(cfg.cross_tree_pct)
+              << ",\"cross_tree_ops\":" << r.cross_tree_ops
+              << ",\"deadlock_cycles\":" << r.deadlock_cycles
               << ",\"idle_lock_bytes\":" << json_double(idle_lock_bytes)
               << ",\"msgs_per_lock_request\":"
               << json_double(r.msgs_per_lock_request())
@@ -146,6 +185,8 @@ int main(int argc, char** argv) {
              TablePrinter::num(r.latency_factor.percentile(0.5))});
   table.row({"latency factor p99",
              TablePrinter::num(r.latency_factor.percentile(0.99))});
+  table.row({"cross-tree ops", std::to_string(r.cross_tree_ops)});
+  table.row({"deadlock cycles", std::to_string(r.deadlock_cycles)});
   table.row({"sim events", std::to_string(r.events)});
   table.row({"virtual end", std::to_string(r.virtual_end)});
   table.row({"engines materialized", std::to_string(r.engines_materialized)});

@@ -76,6 +76,15 @@ class HlsNode {
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] std::size_t lock_count() const { return engines_.size(); }
 
+  /// Visit every *materialized* engine in lock-id order (lazily-managed
+  /// forests never instantiate the full id space, so observers — the
+  /// deadlock monitor — must walk what exists rather than enumerate the
+  /// universe).
+  template <typename Fn>
+  void for_each_engine(Fn&& fn) const {
+    for (const auto& [lock, engine] : engines_) fn(lock, *engine);
+  }
+
  private:
   NodeId self_;
   Transport& transport_;

@@ -1,35 +1,44 @@
 #include "harness/deadlock.hpp"
 
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 namespace hlock::harness {
 
-lockmgr::WaitForGraph build_wait_graph(HlsCluster& cluster) {
-  lockmgr::WaitForGraph graph;
-  const std::size_t n = cluster.node_count();
-  const std::uint32_t locks = cluster.layout().lock_count();
+void add_wait_edges(lockmgr::WaitForGraph& graph,
+                    const std::vector<const core::HlsNode*>& nodes,
+                    const std::function<NodeId(NodeId)>& rename) {
+  // Union of materialized lock ids across the nodes: under lazy
+  // materialization each node instantiates only the engines it touched,
+  // and a lock is interesting exactly when someone touched it.
+  std::set<LockId> locks;
+  for (const core::HlsNode* node : nodes) {
+    node->for_each_engine(
+        [&locks](LockId lock, const core::HlsEngine&) { locks.insert(lock); });
+  }
 
-  for (std::uint32_t l = 0; l < locks; ++l) {
-    const LockId lock{l};
-
+  for (const LockId lock : locks) {
     // Current holders of this lock (node -> strongest held mode).
     std::map<NodeId, Mode> holders;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& engine = cluster.node(i).engine(lock);
-      const Mode held = engine.held_mode();
-      if (held != Mode::kNone) holders[engine.self()] = held;
+    for (const core::HlsNode* node : nodes) {
+      const core::HlsEngine* engine = node->find(lock);
+      if (engine == nullptr) continue;
+      const Mode held = engine->held_mode();
+      if (held != Mode::kNone) holders[engine->self()] = held;
     }
 
     // Waiters: pending local requests plus everything queued anywhere.
     std::vector<std::pair<NodeId, Mode>> waiters;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto& engine = cluster.node(i).engine(lock);
-      if (engine.has_pending()) {
-        waiters.emplace_back(engine.self(), engine.pending_request_mode());
+    for (const core::HlsNode* node : nodes) {
+      const core::HlsEngine* engine = node->find(lock);
+      if (engine == nullptr) continue;
+      if (engine->has_pending()) {
+        waiters.emplace_back(engine->self(), engine->pending_request_mode());
       }
-      for (const QueuedRequest& q : engine.queue()) {
-        if (q.requester != engine.self()) {
+      for (const QueuedRequest& q : engine->queue()) {
+        if (q.requester != engine->self()) {
           waiters.emplace_back(q.requester, q.mode);
         }
       }
@@ -38,10 +47,20 @@ lockmgr::WaitForGraph build_wait_graph(HlsCluster& cluster) {
     for (const auto& [waiter, mode] : waiters) {
       for (const auto& [holder, held] : holders) {
         if (holder == waiter) continue;
-        if (!compatible(held, mode)) graph.add_edge(waiter, holder);
+        if (!compatible(held, mode))
+          graph.add_edge(rename(waiter), rename(holder));
       }
     }
   }
+}
+
+lockmgr::WaitForGraph build_wait_graph(HlsCluster& cluster) {
+  lockmgr::WaitForGraph graph;
+  std::vector<const core::HlsNode*> nodes;
+  nodes.reserve(cluster.node_count());
+  for (std::size_t i = 0; i < cluster.node_count(); ++i)
+    nodes.push_back(&cluster.node(i));
+  add_wait_edges(graph, nodes, [](NodeId n) { return n; });
   return graph;
 }
 

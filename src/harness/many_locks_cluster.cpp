@@ -1,10 +1,16 @@
 #include "harness/many_locks_cluster.hpp"
 
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/cluster_map.hpp"
 #include "common/rng.hpp"
+#include "harness/deadlock.hpp"
 #include "sim/latency.hpp"
 
 namespace hlock::harness {
@@ -36,6 +42,8 @@ struct ManyLocksCluster::TreeState {
 
   std::uint32_t index;
   sim::Simulator* sim;
+  std::size_t shard{0};
+  std::unique_ptr<ClusterMap> cmap;  ///< clustered topology, if any
   std::unique_ptr<sim::SimNetwork> net;
   SimExecutor exec;
   std::vector<std::unique_ptr<sim::SimTransport>> transports;
@@ -44,11 +52,53 @@ struct ManyLocksCluster::TreeState {
   std::vector<workload::ForestOpGen> gens;
   std::vector<std::uint32_t> remaining;
 
+  // --- multi-tree transaction state (built only when coupling is on) ---
+  /// Locks the gateway still holds for a remote transaction's leg.
+  struct HeldLeg {
+    std::vector<lockmgr::PlanStep> plan;
+    std::vector<RequestId> held;
+    std::uint32_t req_tree{0};
+    std::size_t req_node{0};
+  };
+  /// Stream for cross-shard hop latencies and order keys; distinct from
+  /// the net/gen streams so uncoupled runs stay byte-identical.
+  Rng cross_rng{0};
+  std::uint64_t cross_seq{0};
+  std::uint64_t cross_completed{0};
+  std::unique_ptr<sim::SimTransport> gw_transport;
+  std::unique_ptr<core::HlsNode> gw_node;
+  std::unique_ptr<lockmgr::PlanSession> gw_session;
+  bool gw_busy{false};
+  std::deque<std::shared_ptr<CrossFlight>> gw_queue;
+  std::map<std::uint64_t, HeldLeg> gw_held;
+  /// Per local node: partner tree index while a gateway leg of ours is
+  /// outstanding (posted but not yet replied), else -1. Feeds the
+  /// cross-tree wait edges.
+  std::vector<std::int64_t> waiting_gateway;
+
   // Per-tree metrics, merged in tree-index order by result().
   std::uint64_t completed{0};
   std::uint64_t lock_requests{0};
   Summary latency;
   TimePoint last_done{0};
+};
+
+/// One in-flight multi-tree transaction. Phases alternate between the
+/// home shard and the partner shard but never run concurrently (strict
+/// hand-off via posted events), so plain members need no locking.
+struct ManyLocksCluster::CrossFlight {
+  TreeState* home{nullptr};
+  std::size_t node{0};
+  TreeState* remote{nullptr};
+  std::vector<lockmgr::PlanStep> home_plan;
+  std::vector<lockmgr::PlanStep> remote_plan;
+  bool home_first{true};
+  Duration cs{0};
+  TimePoint started{0};
+  Duration acquire_span{0};
+  std::uint32_t lock_requests{0};
+  std::uint64_t leg_id{0};
+  std::function<void()> on_reply;
 };
 
 ManyLocksCluster::ManyLocksCluster(const ManyLocksConfig& config)
@@ -57,7 +107,13 @@ ManyLocksCluster::ManyLocksCluster(const ManyLocksConfig& config)
       zipf_(layout_.pages(), config.spec.zipf_theta),
       sharded_(config.shards) {
   if (config.nodes == 0) throw std::invalid_argument("need >= 1 node");
+  if (config.cross_tree_pct < 0.0 || config.cross_tree_pct > 100.0)
+    throw std::invalid_argument("cross_tree_pct must be in [0, 100]");
+  if (config.cross_tree_pct > 0.0 && config.trees < 2)
+    throw std::invalid_argument("cross-tree ops need >= 2 trees");
   config.spec.validate();
+  coupling_ = config.cross_tree_pct > 0.0;
+  const bool clustered = config.clusters > 1 && config.intra_latency_mean > 0;
 
   const std::uint64_t seed = config.spec.seed;
   const auto nodes = static_cast<std::uint32_t>(config.nodes);
@@ -66,10 +122,20 @@ ManyLocksCluster::ManyLocksCluster(const ManyLocksConfig& config)
     const std::size_t shard =
         workload::ForestLayout::shard_of(t, config.shards);
     auto tree = std::make_unique<TreeState>(sharded_.shard(shard), t);
+    tree->shard = shard;
+    std::unique_ptr<sim::LatencyModel> lat;
+    if (clustered) {
+      tree->cmap = std::make_unique<ClusterMap>(ClusterMap::make(
+          config.nodes, config.clusters, ClusterPlacement::kBlock));
+      lat = std::make_unique<sim::ClusteredLatency>(
+          tree->cmap.get(),
+          std::make_unique<sim::UniformLatency>(config.intra_latency_mean),
+          std::make_unique<sim::UniformLatency>(config.spec.net_latency_mean));
+    } else {
+      lat = std::make_unique<sim::UniformLatency>(config.spec.net_latency_mean);
+    }
     tree->net = std::make_unique<sim::SimNetwork>(
-        *tree->sim,
-        std::make_unique<sim::UniformLatency>(config.spec.net_latency_mean),
-        Rng(mix(seed ^ 0x6e65745f726e67ULL, t)));
+        *tree->sim, std::move(lat), Rng(mix(seed ^ 0x6e65745f726e67ULL, t)));
     tree->transports.reserve(config.nodes);
     tree->nodes.reserve(config.nodes);
     tree->gens.reserve(config.nodes);
@@ -94,6 +160,28 @@ ManyLocksCluster::ManyLocksCluster(const ManyLocksConfig& config)
       tree->sessions.push_back(std::make_unique<lockmgr::PlanSession>(
           *tree->nodes[i], tree->exec));
     }
+    if (coupling_) {
+      // The gateway is an extra protocol participant with local id
+      // `nodes`: it executes remote transactions' legs on this tree so a
+      // cross-tree op needs no second session on any real node. It never
+      // owns tokens initially (home_of maps onto 0..nodes-1) and, under a
+      // clustered map, sits past the table — i.e. in cluster 0's rack.
+      tree->cross_rng = Rng(mix(seed ^ 0x63726f73735f726eULL, t));
+      tree->waiting_gateway.assign(config.nodes, -1);
+      const NodeId gw_id{nodes};
+      tree->gw_transport =
+          std::make_unique<sim::SimTransport>(*tree->net, gw_id);
+      auto gw = std::make_unique<core::HlsNode>(gw_id, *tree->gw_transport,
+                                                config.engine_opts);
+      gw->set_lazy_holder(
+          [nodes](LockId l) { return workload::ForestLayout::home_of(l, nodes); });
+      gw->reserve_dense(layout_.locks_per_tree());
+      tree->net->register_node(
+          gw_id, [n = gw.get()](const Message& m) { n->handle(m); });
+      tree->gw_node = std::move(gw);
+      tree->gw_session =
+          std::make_unique<lockmgr::PlanSession>(*tree->gw_node, tree->exec);
+    }
     tree->remaining.assign(config.nodes, config.spec.ops_per_node);
     trees_.push_back(std::move(tree));
   }
@@ -109,6 +197,12 @@ void ManyLocksCluster::kick(TreeState& tree, std::size_t node) {
 
 void ManyLocksCluster::run_one_op(TreeState& tree, std::size_t node) {
   const workload::ForestOp op = tree.gens[node].next();
+  // The cross-tree coin is drawn only when the feature is on, so pct == 0
+  // consumes the exact legacy RNG stream (byte-identical runs).
+  if (coupling_ && tree.gens[node].draw_cross(config_.cross_tree_pct)) {
+    start_cross_op(tree, node, op);
+    return;
+  }
   std::vector<lockmgr::PlanStep> plan;
   workload::ForestOpGen::plan_for(layout_, op, plan);
   tree.sessions[node]->run(
@@ -125,26 +219,227 @@ void ManyLocksCluster::run_one_op(TreeState& tree, std::size_t node) {
       });
 }
 
+// --- multi-tree transactions -----------------------------------------
+//
+// Flow (each arrow is a posted cross-shard event or a session callback):
+//
+//   home node: acquire first tree's plan
+//     -> post leg to partner gateway (hop latency, keyed)
+//     -> gateway serializes: acquires the leg's plan on the partner tree
+//     -> post reply to home (hop latency, keyed)
+//     -> home acquires the second plan if the leg went first
+//     -> dwell cs on the home simulator
+//     -> release: home session synchronously, gateway via a posted event
+//     -> op complete; kick the node's next op
+//
+// Ordered mode acquires the lower tree id first (total order -> no
+// cross-tree cycles; within a tree, plan lock ids ascend level-order).
+// Unordered mode always acquires the home tree first: two transactions
+// in opposite directions then hold-and-wait across trees and deadlock.
+
+void ManyLocksCluster::start_cross_op(TreeState& tree, std::size_t node,
+                                      const workload::ForestOp& op) {
+  const std::uint32_t partner =
+      tree.gens[node].pick_partner(tree.index, config_.trees);
+  const workload::ForestOp partner_op = tree.gens[node].next_partner(op);
+
+  auto fl = std::make_shared<CrossFlight>();
+  fl->home = &tree;
+  fl->node = node;
+  fl->remote = trees_[partner].get();
+  workload::ForestOpGen::plan_for(layout_, op, fl->home_plan);
+  workload::ForestOpGen::plan_for(layout_, partner_op, fl->remote_plan);
+  fl->home_first = config_.cross_tree_unordered || tree.index < partner;
+  fl->cs = op.cs;
+  fl->started = tree.sim->now();
+
+  if (fl->home_first) {
+    tree.sessions[node]->acquire(
+        fl->home_plan, [this, fl](const lockmgr::PlanSession::Result& r) {
+          fl->lock_requests += r.lock_requests;
+          post_leg(fl, [this, fl] { begin_dwell(fl); });
+        });
+  } else {
+    post_leg(fl, [this, fl] {
+      fl->home->sessions[fl->node]->acquire(
+          fl->home_plan, [this, fl](const lockmgr::PlanSession::Result& r) {
+            fl->lock_requests += r.lock_requests;
+            begin_dwell(fl);
+          });
+    });
+  }
+}
+
+void ManyLocksCluster::post_leg(const std::shared_ptr<CrossFlight>& fl,
+                                std::function<void()> on_reply) {
+  TreeState& home = *fl->home;
+  TreeState& remote = *fl->remote;
+  fl->leg_id = make_key(home);
+  fl->on_reply = std::move(on_reply);
+  home.waiting_gateway[fl->node] = remote.index;
+  sharded_.post(home.shard, remote.shard, home.sim->now() + sample_hop(home),
+                fl->leg_id, [this, fl] {
+                  fl->remote->gw_queue.push_back(fl);
+                  gateway_pump(*fl->remote);
+                });
+}
+
+void ManyLocksCluster::gateway_pump(TreeState& tree) {
+  // One leg at a time, FIFO — and not before every previously acquired
+  // leg has been released: concurrent legs always share at least the top
+  // lock, and an engine cannot hold a lock twice. The gateway "waiting"
+  // for a dwelling transaction is finite by itself; the genuine deadlock
+  // risk (hold-and-wait ACROSS trees) lives in the requesters and is what
+  // the wait-for graph tracks.
+  if (tree.gw_busy || !tree.gw_held.empty() || tree.gw_queue.empty()) return;
+  tree.gw_busy = true;
+  std::shared_ptr<CrossFlight> fl = std::move(tree.gw_queue.front());
+  tree.gw_queue.pop_front();
+  tree.gw_session->acquire(
+      fl->remote_plan, [this, fl](const lockmgr::PlanSession::Result& r) {
+        TreeState& remote = *fl->remote;
+        TreeState::HeldLeg leg;
+        leg.plan = fl->remote_plan;
+        leg.held = remote.gw_session->detach();
+        leg.req_tree = fl->home->index;
+        leg.req_node = fl->node;
+        remote.gw_held.emplace(fl->leg_id, std::move(leg));
+        fl->lock_requests += r.lock_requests;
+        remote.gw_busy = false;
+        // Reply: the requester resumes on its own shard, one hop later.
+        sharded_.post(remote.shard, fl->home->shard,
+                      remote.sim->now() + sample_hop(remote), make_key(remote),
+                      [fl] {
+                        fl->home->waiting_gateway[fl->node] = -1;
+                        std::function<void()> reply = std::move(fl->on_reply);
+                        fl->on_reply = nullptr;
+                        reply();
+                      });
+      });
+}
+
+void ManyLocksCluster::gateway_release(TreeState& tree, std::uint64_t leg_id) {
+  const auto it = tree.gw_held.find(leg_id);
+  if (it == tree.gw_held.end())
+    throw std::logic_error("release for an unknown cross-tree leg");
+  const TreeState::HeldLeg& leg = it->second;
+  for (std::size_t i = leg.plan.size(); i-- > 0;)
+    tree.gw_node->engine(leg.plan[i].lock).unlock(leg.held[i]);
+  tree.gw_held.erase(it);
+  gateway_pump(tree);
+}
+
+void ManyLocksCluster::begin_dwell(const std::shared_ptr<CrossFlight>& fl) {
+  TreeState& home = *fl->home;
+  fl->acquire_span = home.sim->now() - fl->started;
+  home.sim->schedule_after(fl->cs, [this, fl] { finish_cross_op(fl); });
+}
+
+void ManyLocksCluster::finish_cross_op(const std::shared_ptr<CrossFlight>& fl) {
+  TreeState& home = *fl->home;
+  TreeState& remote = *fl->remote;
+  // Release both legs. The gateway's unlock is a posted event (it lands
+  // one hop later in virtual time, like a real release message would);
+  // the home session unlocks synchronously.
+  sharded_.post(home.shard, remote.shard, home.sim->now() + sample_hop(home),
+                make_key(home),
+                [this, fl] { gateway_release(*fl->remote, fl->leg_id); });
+  home.sessions[fl->node]->release();
+
+  ++home.completed;
+  ++home.cross_completed;
+  --home.remaining[fl->node];
+  home.lock_requests += fl->lock_requests;
+  home.latency.add(static_cast<double>(fl->acquire_span) /
+                   static_cast<double>(config_.spec.net_latency_mean));
+  if (home.sim->now() > home.last_done) home.last_done = home.sim->now();
+  kick(home, fl->node);
+}
+
+Duration ManyLocksCluster::sample_hop(TreeState& src) {
+  // Cross-shard hops mirror the flat network's uniform distribution; its
+  // floor (mean / 2) participates in the lookahead() derivation, which
+  // is what makes every posted arrival land beyond the window it was
+  // sent in.
+  const Duration mean = config_.spec.net_latency_mean;
+  return src.cross_rng.uniform(mean / 2, mean + mean / 2);
+}
+
+std::uint64_t ManyLocksCluster::make_key(TreeState& src) {
+  // Deterministic cross-event order key: (source tree, per-tree counter)
+  // — unique and shard-invariant, so the simulator's (t, key) order is
+  // independent of whether the event crossed a shard boundary.
+  return (static_cast<std::uint64_t>(src.index) << 32) | ++src.cross_seq;
+}
+
+Duration ManyLocksCluster::lookahead() const {
+  Duration m = std::numeric_limits<Duration>::max();
+  for (const auto& tree : trees_) m = std::min(m, tree->net->latency_min());
+  if (coupling_) m = std::min(m, config_.spec.net_latency_mean / 2);
+  // run_until() is inclusive of its horizon, so the safe window sits
+  // STRICTLY below the minimum latency: an event sent inside (T, H] must
+  // arrive after H.
+  return m > 0 ? m - 1 : 0;
+}
+
 void ManyLocksCluster::run() {
   for (auto& tree : trees_) {
     for (std::size_t i = 0; i < config_.nodes; ++i) kick(*tree, i);
   }
-  // Conservative lookahead: the minimum point-to-point latency. Uniform
-  // latency samples [mean/2, 3*mean/2], so mean/2 is a safe window.
-  const Duration lookahead = config_.spec.net_latency_mean / 2;
   const std::size_t threads =
       config_.run_threads == 0 ? config_.shards : config_.run_threads;
-  sharded_.run_all(lookahead, threads);
+  sharded_.run_all(lookahead(), threads);
 
   std::uint64_t completed = 0;
   for (const auto& tree : trees_) completed += tree->completed;
   const std::uint64_t expected = static_cast<std::uint64_t>(config_.trees) *
                                  config_.nodes * config_.spec.ops_per_node;
-  if (completed != expected) {
+  if (completed == expected) return;
+  // The forest drained with ops outstanding. Unordered cross-tree mode
+  // can genuinely deadlock; tell that apart from a lost request by
+  // inspecting the wait-for graph.
+  deadlock_cycles_ = wait_graph().count_cycles();
+  if (deadlock_cycles_ == 0) {
     throw std::runtime_error(
-        "forest drained with incomplete ops (deadlock or lost request): " +
+        "forest drained with incomplete ops (lost request): " +
         std::to_string(completed) + "/" + std::to_string(expected));
   }
+}
+
+lockmgr::WaitForGraph ManyLocksCluster::wait_graph() const {
+  lockmgr::WaitForGraph graph;
+  const auto stride = static_cast<std::uint32_t>(config_.nodes) + 1;
+  for (const auto& tree : trees_) {
+    std::vector<const core::HlsNode*> nodes;
+    nodes.reserve(tree->nodes.size() + 1);
+    for (const auto& n : tree->nodes) nodes.push_back(n.get());
+    if (tree->gw_node) nodes.push_back(tree->gw_node.get());
+    const std::uint32_t base = tree->index * stride;
+    add_wait_edges(graph, nodes,
+                   [base](NodeId n) { return NodeId{base + n.value}; });
+  }
+  if (!coupling_) return graph;
+  // Harness-level cross-tree edges: a requester with an outstanding leg
+  // waits for the partner tree's gateway (whether the leg is queued or
+  // mid-acquisition); a gateway holding a leg's locks releases them only
+  // when its requester finishes, so it waits for the requester.
+  for (const auto& tree : trees_) {
+    const std::uint32_t base = tree->index * stride;
+    for (std::size_t n = 0; n < config_.nodes; ++n) {
+      const std::int64_t partner = tree->waiting_gateway[n];
+      if (partner < 0) continue;
+      graph.add_edge(
+          NodeId{base + static_cast<std::uint32_t>(n)},
+          NodeId{static_cast<std::uint32_t>(partner) * stride +
+                 static_cast<std::uint32_t>(config_.nodes)});
+    }
+    const NodeId gw{base + static_cast<std::uint32_t>(config_.nodes)};
+    for (const auto& [leg_id, leg] : tree->gw_held) {
+      graph.add_edge(gw, NodeId{leg.req_tree * stride +
+                                static_cast<std::uint32_t>(leg.req_node)});
+    }
+  }
+  return graph;
 }
 
 ManyLocksResult ManyLocksCluster::result() const {
@@ -164,9 +459,12 @@ ManyLocksResult ManyLocksCluster::result() const {
     for (const double v : tree->latency.samples()) r.latency_factor.add(v);
     for (const auto& node : tree->nodes)
       r.engines_materialized += node->lock_count();
+    if (tree->gw_node) r.engines_materialized += tree->gw_node->lock_count();
+    r.cross_tree_ops += tree->cross_completed;
     if (tree->last_done > r.virtual_end) r.virtual_end = tree->last_done;
   }
   r.events = sharded_.events_processed();
+  r.deadlock_cycles = deadlock_cycles_;
   r.latency_factor.seal();
   return r;
 }

@@ -13,16 +13,47 @@ PlanSession::PlanSession(core::HlsNode& node, Executor& executor)
 
 void PlanSession::run(std::vector<PlanStep> plan, Duration cs,
                       PlanDoneFn done) {
+  // Acquire, dwell, release, report — the acquire() callback runs in the
+  // same context the old monolithic flow scheduled its dwell from, so
+  // the event sequence (and therefore every deterministic run) is
+  // unchanged by the split.
+  acquire(std::move(plan), [this, cs, done = std::move(done)](
+                               const Result& result) {
+    exec_.schedule(cs, [this, result, done = std::move(done)] {
+      release();
+      if (done) done(result);
+    });
+  });
+}
+
+void PlanSession::acquire(std::vector<PlanStep> plan, PlanDoneFn done) {
   if (active_) throw std::logic_error("session already executing a plan");
   if (plan.empty()) throw std::invalid_argument("empty lock plan");
   active_ = true;
   plan_ = std::move(plan);
   held_.clear();
   next_ = 0;
-  cs_ = cs;
   done_ = std::move(done);
   started_ = exec_.now();
   acquire_next();
+}
+
+void PlanSession::release() {
+  if (!active_) throw std::logic_error("release without an active plan");
+  if (held_.size() != plan_.size())
+    throw std::logic_error("release before the plan fully acquired");
+  for (std::size_t i = plan_.size(); i-- > 0;) {
+    node_.engine(plan_[i].lock).unlock(held_[i]);
+  }
+  active_ = false;
+}
+
+std::vector<RequestId> PlanSession::detach() {
+  if (!active_) throw std::logic_error("detach without an active plan");
+  if (held_.size() != plan_.size())
+    throw std::logic_error("detach before the plan fully acquired");
+  active_ = false;
+  return std::move(held_);
 }
 
 void PlanSession::acquire_next() {
@@ -38,21 +69,15 @@ void PlanSession::on_acquired(LockId lock, RequestId id, Mode /*mode*/) {
     exec_.schedule(0, [this] { acquire_next(); });
     return;
   }
-  const Duration latency = exec_.now() - started_;
-  exec_.schedule(cs_, [this, latency] {
-    for (std::size_t i = plan_.size(); i-- > 0;) {
-      node_.engine(plan_[i].lock).unlock(held_[i]);
-    }
-    active_ = false;
-    Result result;
-    result.acquire_latency = latency;
-    result.lock_requests = static_cast<std::uint32_t>(plan_.size());
-    if (done_) {
-      PlanDoneFn done = std::move(done_);
-      done_ = nullptr;
-      done(result);
-    }
-  });
+  Result result;
+  result.acquire_latency = exec_.now() - started_;
+  result.lock_requests = static_cast<std::uint32_t>(plan_.size());
+  if (done_) {
+    // Moved out first: the callback may release() and start a new plan.
+    PlanDoneFn done = std::move(done_);
+    done_ = nullptr;
+    done(result);
+  }
 }
 
 }  // namespace hlock::lockmgr

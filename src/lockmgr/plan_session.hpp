@@ -30,6 +30,31 @@ class PlanSession {
   /// reverse, then invoke `done` (from executor context). One at a time.
   void run(std::vector<PlanStep> plan, Duration cs, PlanDoneFn done);
 
+  /// Split flow for callers that hold across external coordination (the
+  /// multi-tree transactions of the forest harness): acquire every step
+  /// of `plan` in order, then invoke `done` and KEEP holding — the
+  /// session stays busy until release(). Result carries the acquisition
+  /// latency and the plan's request count, exactly as run() reports.
+  void acquire(std::vector<PlanStep> plan, PlanDoneFn done);
+
+  /// Release everything the last acquire() obtained, in reverse order
+  /// (synchronous engine unlocks), and free the session.
+  void release();
+
+  /// Free the session while KEEPING the holds: returns the held request
+  /// ids (plan order) and retires the active plan. The caller becomes
+  /// responsible for unlocking via the node's engines — this is how the
+  /// forest gateway serves one transaction's leg while remembering the
+  /// holds of earlier ones.
+  [[nodiscard]] std::vector<RequestId> detach();
+
+  /// Request ids held by the last completed acquire(), in plan order.
+  /// A gateway serving several transactions copies these out before the
+  /// next acquire() overwrites them, and releases them itself via the
+  /// engines (the session may be busy with another plan by then).
+  [[nodiscard]] const std::vector<RequestId>& held() const { return held_; }
+  [[nodiscard]] const std::vector<PlanStep>& plan() const { return plan_; }
+
   [[nodiscard]] bool busy() const { return active_; }
 
  private:
@@ -42,7 +67,6 @@ class PlanSession {
   std::vector<PlanStep> plan_;
   std::vector<RequestId> held_;
   std::size_t next_{0};
-  Duration cs_{0};
   TimePoint started_{0};
   PlanDoneFn done_;
 };

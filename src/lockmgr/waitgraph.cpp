@@ -1,7 +1,7 @@
 #include "lockmgr/waitgraph.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <vector>
 
 namespace hlock::lockmgr {
 
@@ -12,6 +12,11 @@ void WaitForGraph::add_edge(NodeId waiter, NodeId holder) {
 
 void WaitForGraph::clear() { edges_.clear(); }
 
+void WaitForGraph::remove_node(NodeId node) {
+  edges_.erase(node);
+  for (auto& [from, tos] : edges_) tos.erase(node);
+}
+
 std::size_t WaitForGraph::edge_count() const {
   std::size_t n = 0;
   for (const auto& [from, tos] : edges_) n += tos.size();
@@ -19,43 +24,80 @@ std::size_t WaitForGraph::edge_count() const {
 }
 
 std::optional<std::vector<NodeId>> WaitForGraph::find_cycle() const {
+  // Explicit-stack DFS. The recursive formulation overflows the call
+  // stack on long wait chains (a 10^5-deep chain is a few hundred MB of
+  // frames); here the only per-depth state is one Frame plus the gray
+  // path, both on the heap.
   enum class Color { kWhite, kGray, kBlack };
+  using AdjIt = std::set<NodeId>::const_iterator;
+  struct Frame {
+    NodeId u;
+    AdjIt next;  ///< next out-edge to explore
+    AdjIt end;
+    bool has_adj;
+  };
   std::map<NodeId, Color> color;
-  std::vector<NodeId> stack;
-  std::optional<std::vector<NodeId>> cycle;
+  std::vector<Frame> frames;
+  std::vector<NodeId> path;  ///< gray nodes, root to current
 
-  std::function<bool(NodeId)> dfs = [&](NodeId u) -> bool {
-    color[u] = Color::kGray;
-    stack.push_back(u);
+  const auto make_frame = [this](NodeId u) {
+    Frame f{u, {}, {}, false};
     const auto it = edges_.find(u);
     if (it != edges_.end()) {
-      for (const NodeId v : it->second) {
+      f.next = it->second.begin();
+      f.end = it->second.end();
+      f.has_adj = true;
+    }
+    return f;
+  };
+
+  for (const auto& [root, tos] : edges_) {
+    if (color.count(root) != 0) continue;
+    color[root] = Color::kGray;
+    frames.push_back(make_frame(root));
+    path.push_back(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      bool descended = false;
+      while (f.has_adj && f.next != f.end) {
+        const NodeId v = *f.next++;
         const auto cit = color.find(v);
         const Color c = cit == color.end() ? Color::kWhite : cit->second;
         if (c == Color::kGray) {
-          // Found a back edge: extract the cycle from the stack.
+          // Back edge: the cycle is the gray path from v onward.
           std::vector<NodeId> out;
-          const auto start = std::find(stack.begin(), stack.end(), v);
-          out.assign(start, stack.end());
+          const auto start = std::find(path.begin(), path.end(), v);
+          out.assign(start, path.end());
           out.push_back(v);
-          cycle = std::move(out);
-          return true;
+          return out;
         }
-        if (c == Color::kWhite && dfs(v)) return true;
+        if (c == Color::kWhite) {
+          color[v] = Color::kGray;
+          frames.push_back(make_frame(v));
+          path.push_back(v);
+          descended = true;
+          break;  // f may be a dangling reference now; re-enter loop
+        }
       }
-    }
-    stack.pop_back();
-    color[u] = Color::kBlack;
-    return false;
-  };
-
-  for (const auto& [node, tos] : edges_) {
-    const auto cit = color.find(node);
-    if (cit == color.end() || cit->second == Color::kWhite) {
-      if (dfs(node)) return cycle;
+      if (descended) continue;
+      color[frames.back().u] = Color::kBlack;
+      path.pop_back();
+      frames.pop_back();
     }
   }
   return std::nullopt;
+}
+
+std::size_t WaitForGraph::count_cycles(std::size_t cap) const {
+  WaitForGraph scratch = *this;
+  std::size_t n = 0;
+  while (n < cap) {
+    const auto cycle = scratch.find_cycle();
+    if (!cycle) break;
+    ++n;
+    scratch.remove_node(cycle->front());
+  }
+  return n;
 }
 
 }  // namespace hlock::lockmgr

@@ -24,11 +24,22 @@ class WaitForGraph {
  public:
   void add_edge(NodeId waiter, NodeId holder);
   void clear();
+  /// Drop a node and every edge touching it. Cycle *counting* peels one
+  /// participant per detected cycle and re-searches.
+  void remove_node(NodeId node);
 
   [[nodiscard]] std::size_t edge_count() const;
 
   /// Returns a cycle as a node sequence (first == last) if one exists.
+  /// Iterative (explicit-stack) DFS: wait chains grow with the waiter
+  /// population, and a 10^5-node chain must not overflow the call stack.
   [[nodiscard]] std::optional<std::vector<NodeId>> find_cycle() const;
+
+  /// Number of disjoint cycles: repeatedly find a cycle and remove one of
+  /// its participants, up to `cap` (distinct application deadlocks can
+  /// share no victim once removed). Operates on a copy — `*this` is
+  /// untouched.
+  [[nodiscard]] std::size_t count_cycles(std::size_t cap = 64) const;
 
  private:
   std::map<NodeId, std::set<NodeId>> edges_;

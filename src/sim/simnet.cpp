@@ -1,5 +1,6 @@
 #include "sim/simnet.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -71,7 +72,12 @@ void SimNetwork::send(NodeId from, NodeId to, Message m) {
     return;
   }
 
-  TimePoint arrive = sim_.now() + latency_->sample_pair(from, to, rng_);
+  const Duration flight = latency_->sample_pair(from, to, rng_);
+  // The sharded runner's conservative window is derived from this bound;
+  // a sample below it would silently corrupt cross-shard causality.
+  assert(flight >= latency_->min_latency() &&
+         "latency sample below the model's declared min_latency()");
+  TimePoint arrive = sim_.now() + flight;
   if (fifo_channels_) {
     // Per-channel FIFO: a message may not overtake an earlier one on the
     // same (from, to) pair. Senders need not be registered receivers

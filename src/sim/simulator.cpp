@@ -6,7 +6,7 @@
 
 namespace hlock::sim {
 
-void Simulator::push_event(TimePoint t, Event ev) {
+void Simulator::push_event(TimePoint t, std::uint64_t key, Event ev) {
   if (t < now_) throw std::logic_error("scheduling into the past");
   std::uint32_t slot;
   if (!free_.empty()) {
@@ -17,14 +17,32 @@ void Simulator::push_event(TimePoint t, Event ev) {
     slot = static_cast<std::uint32_t>(slab_.size());
     slab_.push_back(std::move(ev));
   }
-  heap_.push_back(HeapKey{t, next_seq_++, slot});
+  heap_.push_back(HeapKey{t, key, next_seq_++, slot});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Simulator::schedule_at(TimePoint t, EventFn fn) {
   Event ev;
   ev.fn = std::move(fn);
-  push_event(t, std::move(ev));
+  push_event(t, /*key=*/0, std::move(ev));
+}
+
+void Simulator::schedule_cross_at(TimePoint t, std::uint64_t key,
+                                  EventFn fn) {
+  if (key == 0) throw std::logic_error("cross events need a nonzero key");
+  if (t < now_) {
+    // The conservative window ran this shard's clock past `t` while it
+    // was idle. Nothing after last_executed_ has run, so accepting the
+    // event and rolling the idle clock back is exact; at or before
+    // last_executed_ the history already contradicts it.
+    if (t <= last_executed_)
+      throw std::logic_error(
+          "cross event inside the executed horizon (lookahead unsafe)");
+    now_ = t;
+  }
+  Event ev;
+  ev.fn = std::move(fn);
+  push_event(t, key, std::move(ev));
 }
 
 void Simulator::schedule_deliver_at(TimePoint t, DeliverFn fn, void* ctx,
@@ -35,7 +53,7 @@ void Simulator::schedule_deliver_at(TimePoint t, DeliverFn fn, void* ctx,
   ev.from = from;
   ev.to = to;
   ev.msg = std::move(msg);
-  push_event(t, std::move(ev));
+  push_event(t, /*key=*/0, std::move(ev));
 }
 
 std::vector<QueuedRequest> Simulator::acquire_queue_buffer() {
@@ -64,6 +82,7 @@ bool Simulator::step() {
   Event ev = std::move(slab_[key.slot]);
   free_.push_back(key.slot);
   now_ = key.t;
+  last_executed_ = key.t;
   ++processed_;
   if (ev.deliver != nullptr) {
     ev.deliver(ev.ctx, ev.from, ev.to, ev.msg);
@@ -80,6 +99,18 @@ bool Simulator::step() {
 void Simulator::run_until(TimePoint deadline) {
   while (!heap_.empty() && heap_.front().t <= deadline) step();
   if (now_ < deadline) now_ = deadline;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline,
+                                   std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (!heap_.empty() && heap_.front().t <= deadline) {
+    if (n >= max_events) return n;  // budget exhausted mid-window
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
 }
 
 void Simulator::run_all(std::uint64_t max_events) {

@@ -60,6 +60,26 @@ ForestOp ForestOpGen::next() {
   return op;
 }
 
+bool ForestOpGen::draw_cross(double pct) {
+  return rng_.next_double() * 100.0 < pct;
+}
+
+std::uint32_t ForestOpGen::pick_partner(std::uint32_t self,
+                                        std::uint32_t trees) {
+  if (trees < 2) throw std::invalid_argument("cross-tree ops need >= 2 trees");
+  const auto r = static_cast<std::uint32_t>(rng_.next_below(trees - 1));
+  return r >= self ? r + 1 : r;
+}
+
+ForestOp ForestOpGen::next_partner(const ForestOp& primary) {
+  ForestOp op;
+  op.collection_scope = false;
+  op.page = zipf_.sample(rng_);
+  op.leaf_mode = primary.leaf_mode == Mode::kU ? Mode::kW : primary.leaf_mode;
+  op.cs = 0;  // the dwell happens once, on the primary tree
+  return op;
+}
+
 Duration ForestOpGen::next_idle() {
   return std::max<Duration>(
       usec(100), static_cast<Duration>(rng_.exponential(

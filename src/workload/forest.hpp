@@ -104,6 +104,25 @@ class ForestOpGen {
   [[nodiscard]] ForestOp next();
   [[nodiscard]] Duration next_idle();
 
+  // --- multi-tree transactions (coupled-shard workload) -------------
+  // All three draws come from this generator's own stream, in a fixed
+  // order (coin, partner, page), so the cross-tree mix is deterministic
+  // and invariant to the shard count. Callers must not draw the coin at
+  // all when the feature is off (pct == 0) — that keeps uncoupled runs
+  // byte-identical to pre-coupling builds.
+
+  /// True with probability `pct`/100 (pct in (0, 100]).
+  [[nodiscard]] bool draw_cross(double pct);
+  /// Uniformly pick another tree of `trees` total, never `self`.
+  [[nodiscard]] std::uint32_t pick_partner(std::uint32_t self,
+                                           std::uint32_t trees);
+  /// The second hierarchy's leg of a cross-tree transaction: a fresh
+  /// Zipf-sampled page in the partner tree, accessed in the primary op's
+  /// leaf mode (U collapses to W — the upgrade protocol is a
+  /// single-tree affair, and the cross leg wants the conflict, not the
+  /// upgrade choreography).
+  [[nodiscard]] ForestOp next_partner(const ForestOp& primary);
+
   /// Append the multi-granularity lock plan for `op` (intents on every
   /// ancestor, leaf mode on the target) to `out`, which is cleared first.
   static void plan_for(const ForestLayout& layout, const ForestOp& op,

@@ -61,6 +61,47 @@ TEST(WaitForGraph, DiamondIsAcyclic) {
   EXPECT_FALSE(g.find_cycle().has_value());
 }
 
+TEST(WaitForGraph, HundredThousandNodeChainDoesNotOverflowTheStack) {
+  // Regression for the recursive DFS: a convoy this deep used to burn a
+  // stack frame (plus a std::function) per node and crash. The iterative
+  // walk keeps all per-depth state on the heap.
+  constexpr std::uint32_t kDepth = 100'000;
+  lockmgr::WaitForGraph g;
+  for (std::uint32_t i = 0; i < kDepth; ++i)
+    g.add_edge(NodeId{i}, NodeId{i + 1});
+  EXPECT_FALSE(g.find_cycle().has_value());
+  g.add_edge(NodeId{kDepth}, NodeId{0});  // close the loop
+  const auto cycle = g.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), kDepth + 2);  // every node + repeated head
+  EXPECT_EQ(cycle->front(), cycle->back());
+}
+
+TEST(WaitForGraph, RemoveNodeDropsBothDirections) {
+  lockmgr::WaitForGraph g;
+  g.add_edge(NodeId{0}, NodeId{1});
+  g.add_edge(NodeId{1}, NodeId{2});
+  g.add_edge(NodeId{2}, NodeId{0});
+  ASSERT_TRUE(g.find_cycle().has_value());
+  g.remove_node(NodeId{1});
+  EXPECT_FALSE(g.find_cycle().has_value());
+  EXPECT_EQ(g.edge_count(), 1u);  // only 2 -> 0 survives
+}
+
+TEST(WaitForGraph, CountCyclesSeesDisjointCycles) {
+  lockmgr::WaitForGraph g;
+  g.add_edge(NodeId{0}, NodeId{1});
+  g.add_edge(NodeId{1}, NodeId{0});
+  g.add_edge(NodeId{10}, NodeId{11});
+  g.add_edge(NodeId{11}, NodeId{12});
+  g.add_edge(NodeId{12}, NodeId{10});
+  g.add_edge(NodeId{20}, NodeId{21});  // acyclic appendix
+  EXPECT_EQ(g.count_cycles(), 2u);
+  // Counting works on a scratch copy: the graph itself is untouched.
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_TRUE(g.find_cycle().has_value());
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(DeadlockMonitor, CleanClusterHasNoDeadlock) {

@@ -103,6 +103,83 @@ TEST(ShardedSimulator, EventCapThrows) {
                std::runtime_error);
 }
 
+TEST(ShardedSimulator, CrossPostOrdersByKeyNotInsertionTime) {
+  // The same three events — two posted cross-shard (keys 2 and 1) and one
+  // scheduled locally — all landing at t=100 on shard 1. Locals (key 0)
+  // run first, then keyed events by key, regardless of the fact that the
+  // cross events ride a mailbox and are inserted at a later barrier.
+  sim::ShardedSimulator sharded(2);
+  std::vector<int> order;
+  sharded.shard(1).schedule_at(100, [&] { order.push_back(0); });
+  sharded.shard(0).schedule_at(10, [&] {
+    sharded.post(0, 1, 100, /*key=*/2, [&] { order.push_back(2); });
+    sharded.post(0, 1, 100, /*key=*/1, [&] { order.push_back(1); });
+  });
+  sharded.run_all(/*lookahead=*/5, /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sharded.mailbox_events(), 2u);
+  EXPECT_EQ(sharded.cross_posts(), 2u);
+}
+
+TEST(ShardedSimulator, SameShardPostMatchesMailboxPost) {
+  // A post whose source and destination share a shard inserts directly;
+  // the execution order must be identical to the cross-shard run above.
+  sim::ShardedSimulator sharded(1);
+  std::vector<int> order;
+  sharded.shard(0).schedule_at(100, [&] { order.push_back(0); });
+  sharded.shard(0).schedule_at(10, [&] {
+    sharded.post(0, 0, 100, /*key=*/2, [&] { order.push_back(2); });
+    sharded.post(0, 0, 100, /*key=*/1, [&] { order.push_back(1); });
+  });
+  sharded.run_all(/*lookahead=*/5, /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sharded.mailbox_events(), 0u);  // direct insertion
+  EXPECT_EQ(sharded.cross_posts(), 2u);
+}
+
+TEST(ShardedSimulator, ArrivalInsideExecutedHorizonThrows) {
+  // Shard 1 executes up to t=100 in the first window (lookahead 100);
+  // shard 0 posts an arrival at t=60, behind shard 1's last executed
+  // event — a causality violation the drain must refuse to paper over.
+  sim::ShardedSimulator sharded(2);
+  sharded.shard(1).schedule_at(0, [] {});
+  sharded.shard(1).schedule_at(100, [] {});
+  sharded.shard(0).schedule_at(50, [&] {
+    sharded.post(0, 1, 60, /*key=*/1, [] {});
+  });
+  EXPECT_THROW(sharded.run_all(/*lookahead=*/100, /*threads=*/1),
+               std::runtime_error);
+}
+
+TEST(ShardedSimulator, IdleOvershootRevalidatesTheWindow) {
+  // Shard 1's clock coasts to the horizon (t=100) with nothing executed
+  // past t=0; an arrival at t=60 is then sound — the drain rolls the
+  // idle clock back, counts a revalidation, and the event runs.
+  sim::ShardedSimulator sharded(2);
+  bool ran = false;
+  sharded.shard(1).schedule_at(0, [] {});
+  sharded.shard(0).schedule_at(50, [&] {
+    sharded.post(0, 1, 60, /*key=*/1, [&] { ran = true; });
+  });
+  sharded.run_all(/*lookahead=*/100, /*threads=*/1);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sharded.window_revalidations(), 1u);
+}
+
+TEST(ShardedSimulator, ZeroLookaheadLivelockStopsAtTheEventBudget) {
+  // A same-time rescheduling loop never leaves its window, so only the
+  // per-round budget (plumbed into run_until) can stop it. Without that
+  // plumbing this test hangs instead of throwing.
+  sim::ShardedSimulator sharded(2);
+  std::function<void()> again = [&] {
+    sharded.shard(0).schedule_after(0, again);
+  };
+  sharded.shard(0).schedule_at(5, again);
+  EXPECT_THROW(sharded.run_all(/*lookahead=*/0, /*threads=*/1,
+                               /*max_events=*/1000),
+               std::runtime_error);
+}
+
 TEST(ManyLocks, CompletesEveryOp) {
   const ManyLocksResult r = run_with(small_config(), 1);
   EXPECT_EQ(r.ops, 6u * 3 * 8);
@@ -175,4 +252,147 @@ TEST(ManyLocks, ThreeLevelForestRuns) {
   const ManyLocksResult serial = run_with(cfg, 1);
   EXPECT_EQ(serial.ops, 6u * 3 * 8);
   EXPECT_EQ(serial, run_with(cfg, 3));
+}
+
+// --- multi-tree transactions (coupled shards) -------------------------
+
+TEST(ManyLocks, CoupledResultInvariantToShardAndThreadCount) {
+  // With cross-tree ops the trees are no longer disjoint: invariance now
+  // rests on the keyed (t, key) event order and the conservative window,
+  // not on per-tree isolation. This is the serial oracle property the CI
+  // coupled cmp step checks at the binary level.
+  ManyLocksConfig cfg = small_config();
+  cfg.cross_tree_pct = 25.0;
+  const ManyLocksResult serial = run_with(cfg, 1);
+  EXPECT_GT(serial.cross_tree_ops, 0u);
+  EXPECT_EQ(serial.ops, 6u * 3 * 8);  // cross ops count once, at home
+  EXPECT_EQ(serial.deadlock_cycles, 0u);
+  EXPECT_EQ(serial, run_with(cfg, 2));
+  EXPECT_EQ(serial, run_with(cfg, 3));
+  EXPECT_EQ(serial, run_with(cfg, 6));
+  EXPECT_EQ(serial, run_with(cfg, 6, 4));  // parallel workers
+}
+
+TEST(ManyLocks, CoupledRunsProduceCrossShardTraffic) {
+  ManyLocksConfig cfg = small_config();
+  cfg.cross_tree_pct = 25.0;
+  cfg.shards = 3;
+  ManyLocksCluster cluster(cfg);
+  cluster.run();
+  // Legs, replies and releases between trees on different shards must
+  // ride the mailboxes — the lookahead barrier is load-bearing here.
+  EXPECT_GT(cluster.sharded().cross_posts(), 0u);
+  EXPECT_GT(cluster.sharded().mailbox_events(), 0u);
+}
+
+TEST(ManyLocks, UncoupledConfigPostsNoCrossEvents) {
+  ManyLocksConfig cfg = small_config();
+  cfg.shards = 3;
+  ManyLocksCluster cluster(cfg);
+  cluster.run();
+  EXPECT_EQ(cluster.sharded().cross_posts(), 0u);
+  EXPECT_EQ(cluster.sharded().mailbox_events(), 0u);
+}
+
+namespace {
+
+/// High-contention two-tree config: tiny page space, heavy skew, every
+/// op spanning both trees — the regime where acquisition order decides
+/// between completion and deadlock.
+ManyLocksConfig contended_cross_config() {
+  ManyLocksConfig cfg;
+  cfg.nodes = 4;
+  cfg.trees = 2;
+  cfg.levels = 4;
+  cfg.spec.lock_count = 64;
+  cfg.spec.zipf_theta = 1.2;
+  cfg.spec.ops_per_node = 20;
+  cfg.spec.seed = 1;
+  cfg.cross_tree_pct = 100.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ManyLocks, OrderedCrossTreeOpsNeverDeadlock) {
+  // Ordered mode acquires trees in tree-id order — a total order over
+  // resources, so even 100% cross traffic on two tiny trees completes.
+  const ManyLocksResult r = run_with(contended_cross_config(), 2);
+  EXPECT_EQ(r.ops, 2u * 4 * 20);
+  EXPECT_EQ(r.cross_tree_ops, r.ops);
+  EXPECT_EQ(r.deadlock_cycles, 0u);
+}
+
+TEST(ManyLocks, UnorderedCrossTreeDeadlockIsDetectedNotHung) {
+  // Home-tree-first acquisition is a textbook ordering bug: opposite
+  // transactions hold-and-wait across the trees. The run must DRAIN
+  // (conservative windows keep advancing), diagnose the cycle in the
+  // forest-wide wait-for graph, and report it instead of throwing.
+  ManyLocksConfig cfg = contended_cross_config();
+  cfg.cross_tree_unordered = true;
+  ManyLocksCluster cluster(cfg);
+  cluster.run();  // must not throw and must not hang
+  const ManyLocksResult r = cluster.result();
+  EXPECT_GE(r.deadlock_cycles, 1u);
+  EXPECT_LT(r.ops, 2u * 4 * 20);  // the deadlocked ops never finished
+  const auto cycle = cluster.wait_graph().find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 3u);
+}
+
+TEST(ManyLocks, UnorderedDeadlockRunIsStillShardInvariant) {
+  ManyLocksConfig cfg = contended_cross_config();
+  cfg.cross_tree_unordered = true;
+  const ManyLocksResult serial = run_with(cfg, 1);
+  EXPECT_EQ(serial, run_with(cfg, 2));
+  EXPECT_EQ(serial, run_with(cfg, 2, 2));
+}
+
+TEST(ManyLocks, LookaheadDerivedFromModelsNotHardcodedMean) {
+  // Flat forest: floor is uniform's mean/2, minus one for the inclusive
+  // horizon. Clustered forest: the intra-cluster floor governs — the old
+  // hard-coded net_latency_mean / 2 window would overshoot it 150-fold
+  // and tear the determinism guarantee (arrivals inside executed
+  // history).
+  ManyLocksConfig flat = small_config();
+  {
+    ManyLocksCluster cluster(flat);
+    EXPECT_EQ(cluster.lookahead(), flat.spec.net_latency_mean / 2 - 1);
+  }
+  ManyLocksConfig clustered = small_config();
+  clustered.clusters = 2;
+  clustered.intra_latency_mean = usec(1000);
+  {
+    ManyLocksCluster cluster(clustered);
+    EXPECT_EQ(cluster.lookahead(), usec(1000) / 2 - 1);
+    EXPECT_LT(cluster.lookahead(), clustered.spec.net_latency_mean / 2);
+  }
+}
+
+TEST(ManyLocks, ClusteredCoupledForestStaysDeterministic) {
+  // The regression the derived lookahead exists for: clustered topology
+  // (intra floor far below the flat mean) plus cross-shard coupling.
+  ManyLocksConfig cfg = small_config();
+  cfg.clusters = 2;
+  cfg.intra_latency_mean = usec(1000);
+  cfg.cross_tree_pct = 20.0;
+  const ManyLocksResult serial = run_with(cfg, 1);
+  EXPECT_EQ(serial.ops, 6u * 3 * 8);
+  EXPECT_GT(serial.cross_tree_ops, 0u);
+  EXPECT_EQ(serial, run_with(cfg, 3));
+  EXPECT_EQ(serial, run_with(cfg, 6, 4));
+}
+
+TEST(ManyLocks, RejectsBadCrossTreeConfig) {
+  ManyLocksConfig cfg = small_config();
+  cfg.cross_tree_pct = 101.0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.cross_tree_pct = -1.0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
+  cfg = small_config();
+  cfg.trees = 1;
+  cfg.spec.lock_count = 200;
+  cfg.cross_tree_pct = 10.0;
+  EXPECT_THROW(ManyLocksCluster{cfg}, std::invalid_argument);
 }
